@@ -1,0 +1,116 @@
+/// \file fig1a_jj_physics.cpp
+/// \brief Fig. 1a substrate: Josephson-junction dynamics behind the T1 cell.
+///
+/// Fig. 1a of the paper is the T1 circuit at the JJ level: a biased storage
+/// loop whose junctions (JQ, JC, JS, JR) emit SFQ pulses as the loop toggles.
+/// This bench exercises the analog substrate (RCSJ transient simulator) on
+/// the canonical structures that make the cell work and prints the measured
+/// physics next to the textbook values:
+///   * a biased junction below/above the critical current,
+///   * flux quantization (integral V dt = Φ0 per 2π slip),
+///   * pulse propagation down a Josephson transmission line,
+///   * a storage loop holding one flux quantum (the cell's state bit).
+
+#include <cmath>
+#include <iostream>
+
+#include "sfq/jj_sim.hpp"
+
+using namespace t1sfq::jj;
+
+int main() {
+  bool ok = true;
+  std::cout << "Fig. 1a substrate: RCSJ Josephson-junction physics\n\n";
+
+  {
+    std::cout << "[1] Biased junction, I = 0.7 Ic (superconducting branch)\n";
+    Circuit c;
+    const int n = c.add_node();
+    JjParams jp;
+    const int j = c.add_jj(n, 0, jp);
+    c.add_dc_bias(n, 0.7 * jp.ic);
+    const auto res = simulate(c, {});
+    std::cout << "    phase settles at " << res.jj_phase[j].back()
+              << " rad (asin(0.7) = " << std::asin(0.7) << "), pulses: "
+              << res.pulse_count(j) << "\n";
+    ok &= res.pulse_count(j) == 0;
+  }
+  {
+    std::cout << "[2] Biased junction, I = 1.5 Ic (voltage state, RSJ law)\n";
+    Circuit c;
+    const int n = c.add_node();
+    JjParams jp;
+    jp.c = 1e-15;
+    const int j = c.add_jj(n, 0, jp);
+    c.add_dc_bias(n, 1.5 * jp.ic);
+    TransientParams p;
+    p.t_end = 200e-12;
+    p.dt = 0.01e-12;
+    const auto res = simulate(c, p);
+    const std::size_t half = res.time.size() / 2;
+    const double v_avg = (res.jj_phase[j].back() - res.jj_phase[j][half]) /
+                         (res.time.back() - res.time[half]) * kPhi0 / (2 * kPi);
+    const double v_rsj = jp.r * std::sqrt(1.5 * 1.5 - 1.0) * jp.ic;
+    std::cout << "    <V> = " << v_avg * 1e6 << " uV, RSJ prediction R*sqrt(I^2-Ic^2) = "
+              << v_rsj * 1e6 << " uV, slips: " << res.pulse_count(j) << "\n";
+    ok &= std::fabs(v_avg - v_rsj) < 0.1 * v_rsj;
+  }
+  {
+    std::cout << "[3] Flux quantization: one triggered slip\n";
+    Circuit c;
+    const int n = c.add_node();
+    JjParams jp;
+    const int j = c.add_jj(n, 0, jp);
+    c.add_dc_bias(n, 0.7 * jp.ic);
+    c.add_pulse(n, 20e-12, jp.ic, 1e-12);
+    TransientParams p;
+    p.t_end = 60e-12;
+    p.dt = 0.01e-12;
+    const auto res = simulate(c, p);
+    double flux = 0.0;
+    for (std::size_t k = 1; k < res.time.size(); ++k) {
+      flux += res.node_voltage[n][k] * (res.time[k] - res.time[k - 1]);
+    }
+    std::cout << "    pulses: " << res.pulse_count(j) << ", integral V dt = "
+              << flux / kPhi0 << " Phi0 (2.068 mV*ps per quantum)\n";
+    ok &= res.pulse_count(j) == 1 && flux > 0.9 * kPhi0 && flux < 1.3 * kPhi0;
+  }
+  {
+    std::cout << "[4] Josephson transmission line, 4 stages\n";
+    Jtl jtl = make_jtl(4);
+    jtl.circuit.add_pulse(jtl.input_node, 10e-12, 1.6e-4, 2e-12);
+    TransientParams p;
+    p.t_end = 100e-12;
+    p.dt = 0.02e-12;
+    const auto res = simulate(jtl.circuit, p);
+    std::cout << "    per-stage slip times (ps):";
+    for (const int j : jtl.stage_junctions) {
+      ok &= res.pulse_count(j) == 1;
+      std::cout << " " << (res.jj_pulses[j].empty() ? -1.0 : res.jj_pulses[j][0] * 1e12);
+    }
+    std::cout << "\n";
+  }
+  {
+    std::cout << "[5] Storage loop (the T1 state bit, Fig. 1a blue/red paths)\n";
+    Circuit c;
+    const int in = c.add_node();
+    const int mid = c.add_node();
+    JjParams jp;
+    const int jwrite = c.add_jj(in, 0, jp);
+    c.add_inductor(in, mid, 20e-12);
+    const int jhold = c.add_jj(mid, 0, jp);
+    c.add_dc_bias(in, 0.3 * jp.ic);
+    c.add_pulse(in, 15e-12, 1.5 * jp.ic, 2e-12);
+    TransientParams p;
+    p.t_end = 80e-12;
+    p.dt = 0.02e-12;
+    const auto res = simulate(c, p);
+    const double dphi = res.jj_phase[jwrite].back() - res.jj_phase[jhold].back();
+    std::cout << "    loop phase difference after write: " << dphi
+              << " rad (one stored quantum ~ 2*pi across the loop)\n";
+    ok &= dphi > kPi;
+  }
+
+  std::cout << (ok ? "\nAll physics checks PASSED.\n" : "\nPhysics checks FAILED.\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+/// \file phase_sweep.cpp
+/// \brief Ablation: how the phase count n shapes DFFs / area / depth.
+///
+/// The paper fixes n = 4; this sweep shows why that is a sweet spot. For each
+/// benchmark and n in {1..8} we run the baseline flow and (for n >= 4, where
+/// the three T1 landing slots fit) the T1 flow, reporting the Table-I metrics.
+
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "benchmarks/suite.hpp"
+#include "core/flow.hpp"
+
+using namespace t1sfq;
+
+int main(int argc, char** argv) {
+  unsigned shrink = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shrink") == 0 && i + 1 < argc) {
+      shrink = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      shrink = 1;
+    }
+  }
+  const auto suite = shrink > 1 ? bench::make_suite_scaled(shrink) : bench::make_suite();
+
+  std::cout << "Phase-count ablation (widths shrunk by " << shrink << ")\n";
+  for (const auto& c : {suite[0], suite[6], suite[4]}) {  // adder, multiplier, voter
+    const Network net = c.generate();
+    std::cout << "\n" << c.name << " (" << net.num_gates() << " gates):\n";
+    std::cout << std::setw(4) << "n" << std::setw(12) << "DFF(base)" << std::setw(12)
+              << "area(base)" << std::setw(12) << "depth" << std::setw(12) << "DFF(T1)"
+              << std::setw(12) << "area(T1)" << std::setw(12) << "depth(T1)" << "\n";
+    for (unsigned n = 1; n <= 8; ++n) {
+      FlowParams base;
+      base.clk.phases = n;
+      base.use_t1 = false;
+      const auto b = run_flow(net, base).metrics;
+      std::cout << std::setw(4) << n << std::setw(12) << b.num_dffs << std::setw(12)
+                << b.area_jj << std::setw(12) << b.depth_cycles;
+      if (n >= 4) {
+        FlowParams t1p;
+        t1p.clk.phases = n;
+        t1p.use_t1 = true;
+        const auto t = run_flow(net, t1p).metrics;
+        std::cout << std::setw(12) << t.num_dffs << std::setw(12) << t.area_jj
+                  << std::setw(12) << t.depth_cycles;
+      } else {
+        std::cout << std::setw(12) << "-" << std::setw(12) << "-" << std::setw(12) << "-";
+      }
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file solver_ablation.cpp
+/// \brief Ablation: heuristic vs exact-MILP phase assignment.
+///
+/// The paper solves phase assignment with an ILP (OR-Tools). This repository
+/// ships both an exact branch-and-bound MILP (the paper's formulation, §II-B)
+/// and a fast coordinate-descent heuristic used for the large benchmarks.
+/// This bench measures the optimality gap and runtime of both engines on
+/// progressively larger adders and multipliers.
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+#include "benchmarks/arith.hpp"
+#include "benchmarks/epfl.hpp"
+#include "benchmarks/iscas.hpp"
+#include "core/flow.hpp"
+
+using namespace t1sfq;
+
+namespace {
+
+double run_ms(const Network& net, PhaseEngine engine, bool use_t1, FlowMetrics* out) {
+  FlowParams p;
+  p.clk.phases = 4;
+  p.use_t1 = use_t1;
+  p.engine = engine;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = run_flow(net, p);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  *out = res.metrics;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Phase-assignment engine ablation (4 phases)\n";
+  std::cout << std::setw(16) << "circuit" << std::setw(8) << "gates" << std::setw(6)
+            << "T1" << std::setw(12) << "DFF(heur)" << std::setw(12) << "ms(heur)"
+            << std::setw(12) << "DFF(milp)" << std::setw(12) << "ms(milp)" << std::setw(8)
+            << "gap%" << "\n";
+
+  struct Case {
+    std::string name;
+    Network net;
+    bool use_t1;
+  };
+  std::vector<Case> cases;
+  for (unsigned bits : {2u, 3u, 4u, 6u}) {
+    Network net("adder" + std::to_string(bits));
+    const Word a = add_pi_word(net, bits, "a");
+    const Word b = add_pi_word(net, bits, "b");
+    add_po_word(net, ripple_carry_adder(net, a, b, net.get_const0()), "s");
+    cases.push_back({net.name(), net, false});
+    cases.push_back({net.name() + "+T1", net, true});
+  }
+  for (unsigned bits : {2u, 3u}) {
+    cases.push_back({"mult" + std::to_string(bits), bench::c6288_like(bits), false});
+  }
+
+  for (auto& c : cases) {
+    FlowMetrics heur, milp;
+    const double ms_h = run_ms(c.net, PhaseEngine::Heuristic, c.use_t1, &heur);
+    const double ms_m = run_ms(c.net, PhaseEngine::ExactMilp, c.use_t1, &milp);
+    const double gap = heur.num_dffs > 0
+                           ? 100.0 * (static_cast<double>(heur.num_dffs) - milp.num_dffs) /
+                                 std::max<std::size_t>(milp.num_dffs, 1)
+                           : 0.0;
+    std::cout << std::setw(16) << c.name << std::setw(8) << c.net.num_gates()
+              << std::setw(6) << (c.use_t1 ? "yes" : "no") << std::setw(12)
+              << heur.num_dffs << std::setw(12) << std::fixed << std::setprecision(1)
+              << ms_h << std::setw(12) << milp.num_dffs << std::setw(12) << ms_m
+              << std::setw(8) << std::setprecision(1) << gap << "\n";
+  }
+  std::cout << "\n(The MILP is the paper's eq. 3 formulation with assignment binaries for\n"
+               " the T1 landing slots; gap% > 0 means the heuristic left DFFs on the table.)\n";
+  return 0;
+}

@@ -1,0 +1,262 @@
+#include "benchmarks/arith.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace t1sfq {
+
+SumCarry half_adder(Network& net, NodeId a, NodeId b) {
+  return {net.add_xor(a, b), net.add_and(a, b)};
+}
+
+SumCarry full_adder(Network& net, NodeId a, NodeId b, NodeId c) {
+  const NodeId axb = net.add_xor(a, b);
+  const NodeId sum = net.add_xor(axb, c);
+  const NodeId carry = net.add_or(net.add_and(a, b), net.add_and(axb, c));
+  return {sum, carry};
+}
+
+Word ripple_carry_adder(Network& net, const Word& a, const Word& b, NodeId carry_in) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("ripple_carry_adder: width mismatch");
+  }
+  Word out;
+  NodeId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SumCarry fa = full_adder(net, a[i], b[i], carry);
+    out.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  out.push_back(carry);
+  return out;
+}
+
+Word add_unsigned(Network& net, const Word& a, const Word& b) {
+  Word x = a, y = b;
+  const std::size_t w = std::max(x.size(), y.size());
+  x.resize(w, net.get_const0());
+  y.resize(w, net.get_const0());
+  return ripple_carry_adder(net, x, y, net.get_const0());
+}
+
+Word subtract_unsigned(Network& net, const Word& a, const Word& b) {
+  // a - b = a + ~b + 1 over |a| bits; borrow = NOT carry-out.
+  Word y = b;
+  y.resize(a.size(), net.get_const0());
+  Word nb;
+  for (const NodeId bit : y) {
+    nb.push_back(net.add_not(bit));
+  }
+  Word sum = ripple_carry_adder(net, a, nb, net.get_const1());
+  const NodeId borrow = net.add_not(sum.back());
+  sum.back() = borrow;
+  return sum;
+}
+
+Word array_multiplier(Network& net, const Word& a, const Word& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("array_multiplier: empty operand");
+  }
+  const std::size_t w = a.size() + b.size();
+  // Row-by-row carry-save accumulation, the structure of ISCAS-85 c6288.
+  Word acc(w, net.get_const0());
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    Word pp(w, net.get_const0());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      pp[i + j] = net.add_and(a[i], b[j]);
+    }
+    NodeId carry = net.get_const0();
+    for (std::size_t k = j; k < w; ++k) {
+      const SumCarry fa = full_adder(net, acc[k], pp[k], carry);
+      acc[k] = fa.sum;
+      carry = fa.carry;
+    }
+  }
+  return acc;
+}
+
+Word constant_multiply(Network& net, const Word& a, uint64_t constant) {
+  if (constant == 0) {
+    return {net.get_const0()};
+  }
+  Word acc;
+  bool first = true;
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    if ((constant >> bit) & 1) {
+      const Word shifted = shift_left(net, a, bit);
+      acc = first ? shifted : add_unsigned(net, acc, shifted);
+      first = false;
+    }
+  }
+  return acc;
+}
+
+Word popcount(Network& net, const Word& bits) {
+  if (bits.empty()) {
+    return {net.get_const0()};
+  }
+  // Wallace-style carry-save counter tree: in every wave each column is
+  // reduced in parallel groups of three, so the depth is logarithmic in the
+  // input count. `columns` grows inside the loop; access it by index only.
+  std::vector<Word> columns(1, bits);
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    for (std::size_t weight = 0; weight < columns.size(); ++weight) {
+      const Word col = std::move(columns[weight]);
+      if (col.size() <= 1) {
+        columns[weight] = std::move(col);
+        continue;
+      }
+      Word next;
+      Word carries;
+      std::size_t i = 0;
+      for (; i + 3 <= col.size(); i += 3) {
+        const SumCarry fa = full_adder(net, col[i], col[i + 1], col[i + 2]);
+        next.push_back(fa.sum);
+        carries.push_back(fa.carry);
+      }
+      if (col.size() - i == 2) {
+        const SumCarry ha = half_adder(net, col[i], col[i + 1]);
+        next.push_back(ha.sum);
+        carries.push_back(ha.carry);
+      } else if (col.size() - i == 1) {
+        next.push_back(col[i]);
+      }
+      columns[weight] = std::move(next);
+      if (!carries.empty()) {
+        if (columns.size() <= weight + 1) {
+          columns.emplace_back();
+        }
+        columns[weight + 1].insert(columns[weight + 1].end(), carries.begin(),
+                                   carries.end());
+        reduced = true;
+      }
+      if (columns[weight].size() > 1) {
+        reduced = true;
+      }
+    }
+  }
+  Word out;
+  for (const auto& col : columns) {
+    out.push_back(col.empty() ? net.get_const0() : col[0]);
+  }
+  return out;
+}
+
+NodeId mux(Network& net, NodeId sel, NodeId t, NodeId e) {
+  return net.add_or(net.add_and(sel, t), net.add_and(net.add_not(sel), e));
+}
+
+Word mux_word(Network& net, NodeId sel, const Word& t, const Word& e) {
+  Word tt = t, ee = e;
+  const std::size_t w = std::max(tt.size(), ee.size());
+  tt.resize(w, net.get_const0());
+  ee.resize(w, net.get_const0());
+  Word out;
+  for (std::size_t i = 0; i < w; ++i) {
+    out.push_back(mux(net, sel, tt[i], ee[i]));
+  }
+  return out;
+}
+
+NodeId equals(Network& net, const Word& a, const Word& b) {
+  Word x = a, y = b;
+  const std::size_t w = std::max(x.size(), y.size());
+  x.resize(w, net.get_const0());
+  y.resize(w, net.get_const0());
+  NodeId acc = net.get_const1();
+  for (std::size_t i = 0; i < w; ++i) {
+    acc = net.add_and(acc, net.add_xnor(x[i], y[i]));
+  }
+  return acc;
+}
+
+NodeId greater_than(Network& net, const Word& a, const Word& b) {
+  Word x = a, y = b;
+  const std::size_t w = std::max(x.size(), y.size());
+  x.resize(w, net.get_const0());
+  y.resize(w, net.get_const0());
+  // MSB-first: gt = x_i & ~y_i | eq_i & gt_rest.
+  NodeId gt = net.get_const0();
+  for (std::size_t i = 0; i < w; ++i) {
+    const NodeId xi = x[i], yi = y[i];
+    const NodeId here = net.add_and(xi, net.add_not(yi));
+    const NodeId eq = net.add_xnor(xi, yi);
+    gt = net.add_or(here, net.add_and(eq, gt));
+  }
+  return gt;
+}
+
+NodeId greater_equal_const(Network& net, const Word& a, uint64_t constant) {
+  // a >= c  <=>  NOT (a < c); compute a - c and inspect the borrow.
+  if (constant == 0) {
+    return net.get_const1();
+  }
+  Word c_word;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    c_word.push_back(((constant >> i) & 1) ? net.get_const1() : net.get_const0());
+  }
+  if (a.size() < 64 && (constant >> a.size()) != 0) {
+    return net.get_const0();  // constant not representable: always smaller
+  }
+  const Word diff = subtract_unsigned(net, a, c_word);
+  return net.add_not(diff.back());
+}
+
+NodeId parity(Network& net, const Word& a) {
+  NodeId acc = net.get_const0();
+  for (const NodeId bit : a) {
+    acc = net.add_xor(acc, bit);
+  }
+  return acc;
+}
+
+Word shift_left(Network& net, const Word& a, unsigned k) {
+  Word out(k, net.get_const0());
+  out.insert(out.end(), a.begin(), a.end());
+  return out;
+}
+
+Word slice(Network& net, const Word& a, unsigned lo, unsigned hi) {
+  Word out;
+  for (unsigned i = lo; i < hi; ++i) {
+    out.push_back(i < a.size() ? a[i] : net.get_const0());
+  }
+  return out;
+}
+
+Word add_pi_word(Network& net, unsigned bits, const std::string& prefix) {
+  Word w;
+  for (unsigned i = 0; i < bits; ++i) {
+    w.push_back(net.add_pi(prefix + std::to_string(i)));
+  }
+  return w;
+}
+
+void add_po_word(Network& net, const Word& w, const std::string& prefix) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    net.add_po(w[i], prefix + std::to_string(i));
+  }
+}
+
+uint64_t word_to_uint(const std::vector<bool>& bits) {
+  uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size() && i < 64; ++i) {
+    if (bits[i]) {
+      v |= uint64_t{1} << i;
+    }
+  }
+  return v;
+}
+
+std::vector<bool> uint_to_word(uint64_t value, unsigned bits) {
+  std::vector<bool> w(bits);
+  for (unsigned i = 0; i < bits; ++i) {
+    w[i] = (value >> i) & 1;
+  }
+  return w;
+}
+
+}  // namespace t1sfq

@@ -1,0 +1,82 @@
+#pragma once
+/// \file arith.hpp
+/// \brief Arithmetic building blocks over gate networks.
+///
+/// These blocks are the vocabulary the benchmark generators are written in.
+/// They deliberately produce the classic *mapped SFQ* structures the paper's
+/// detection pass looks for: full adders built as two XOR2 plus AND/OR carry
+/// logic, whose 3-leaf cuts are exactly XOR3 (sum) and MAJ3 (carry) over the
+/// shared leaves — the T1-implementable pair.
+///
+/// Words are little-endian vectors of node ids (bits[0] = LSB).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace t1sfq {
+
+using Word = std::vector<NodeId>;
+
+struct SumCarry {
+  NodeId sum;
+  NodeId carry;
+};
+
+/// sum = a ^ b, carry = a & b.
+SumCarry half_adder(Network& net, NodeId a, NodeId b);
+/// sum = a ^ b ^ c, carry = maj(a, b, c) as or(and(a,b), and(a^b, c)).
+SumCarry full_adder(Network& net, NodeId a, NodeId b, NodeId c);
+
+/// Ripple-carry addition; returns the |a| sum bits followed by the carry-out.
+/// Operands must have equal width.
+Word ripple_carry_adder(Network& net, const Word& a, const Word& b, NodeId carry_in);
+
+/// Adds two words of possibly different widths as unsigned integers; result
+/// is max(|a|, |b|) + 1 bits.
+Word add_unsigned(Network& net, const Word& a, const Word& b);
+
+/// a − b for |a| >= |b| when the result is known nonnegative; returns |a|
+/// bits plus a borrow-out (1 = result went negative).
+Word subtract_unsigned(Network& net, const Word& a, const Word& b);
+
+/// Unsigned array multiplier (carry-save rows, c6288 style): |a|+|b| bits.
+Word array_multiplier(Network& net, const Word& a, const Word& b);
+
+/// Multiplies by an integer constant via shift-and-add; minimal width output.
+Word constant_multiply(Network& net, const Word& a, uint64_t constant);
+
+/// Population count: ceil(log2(n+1)) bits, built as a full-adder tree.
+Word popcount(Network& net, const Word& bits);
+
+/// sel ? t : e.
+NodeId mux(Network& net, NodeId sel, NodeId t, NodeId e);
+Word mux_word(Network& net, NodeId sel, const Word& t, const Word& e);
+
+/// Comparators (unsigned).
+NodeId equals(Network& net, const Word& a, const Word& b);
+NodeId greater_than(Network& net, const Word& a, const Word& b);
+/// a >= constant.
+NodeId greater_equal_const(Network& net, const Word& a, uint64_t constant);
+
+/// XOR-reduction (parity) of a word.
+NodeId parity(Network& net, const Word& a);
+
+/// Fixed left shift by k, padding with const0 and growing the word.
+Word shift_left(Network& net, const Word& a, unsigned k);
+/// Keeps bits [lo, hi) of the word (zero-extended if needed).
+Word slice(Network& net, const Word& a, unsigned lo, unsigned hi);
+
+/// Fresh primary-input word with names `<prefix>0 ... <prefix>{n-1}`.
+Word add_pi_word(Network& net, unsigned bits, const std::string& prefix);
+/// Registers every bit as a primary output `<prefix>...`.
+void add_po_word(Network& net, const Word& w, const std::string& prefix);
+
+/// Interprets little-endian bools as an unsigned integer (and back) — shared
+/// by the generator tests and reference models.
+uint64_t word_to_uint(const std::vector<bool>& bits);
+std::vector<bool> uint_to_word(uint64_t value, unsigned bits);
+
+}  // namespace t1sfq

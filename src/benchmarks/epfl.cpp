@@ -1,0 +1,251 @@
+#include "benchmarks/epfl.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "benchmarks/arith.hpp"
+
+namespace t1sfq {
+namespace bench {
+
+namespace {
+
+/// Qn coefficients of the odd quintic fit sin(pi/2 * x) ~ C1*x - C3*x^3 + C5*x^5
+/// (Taylor in pi/2*x; max error ~0.45% at x -> 1).
+uint64_t sin_c1(unsigned bits) {
+  return static_cast<uint64_t>(std::llround(1.5707963267948966 * std::pow(2.0, bits)));
+}
+uint64_t sin_c3(unsigned bits) {
+  return static_cast<uint64_t>(std::llround(0.6459640975062462 * std::pow(2.0, bits)));
+}
+uint64_t sin_c5(unsigned bits) {
+  return static_cast<uint64_t>(std::llround(0.07969262624616703 * std::pow(2.0, bits)));
+}
+
+unsigned ceil_log2(unsigned n) {
+  unsigned b = 0;
+  while ((1u << b) < n) {
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+Network epfl_adder(unsigned bits) {
+  Network net("adder");
+  const Word a = add_pi_word(net, bits, "a");
+  const Word b = add_pi_word(net, bits, "b");
+  const Word sum = ripple_carry_adder(net, a, b, net.get_const0());
+  add_po_word(net, sum, "s");
+  return net;
+}
+
+std::vector<bool> epfl_adder_ref(unsigned bits, const std::vector<bool>& inputs) {
+  assert(inputs.size() == 2 * bits);
+  std::vector<bool> out(bits + 1);
+  uint64_t carry = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    const uint64_t s = uint64_t(inputs[i]) + uint64_t(inputs[bits + i]) + carry;
+    out[i] = s & 1;
+    carry = s >> 1;
+  }
+  out[bits] = carry;
+  return out;
+}
+
+Network epfl_multiplier(unsigned bits) {
+  Network net("multiplier");
+  const Word a = add_pi_word(net, bits, "a");
+  const Word b = add_pi_word(net, bits, "b");
+  add_po_word(net, array_multiplier(net, a, b), "p");
+  return net;
+}
+
+std::vector<bool> epfl_multiplier_ref(unsigned bits, const std::vector<bool>& inputs) {
+  assert(inputs.size() == 2 * bits && bits <= 32);
+  const uint64_t a = word_to_uint({inputs.begin(), inputs.begin() + bits});
+  const uint64_t b = word_to_uint({inputs.begin() + bits, inputs.end()});
+  return uint_to_word(a * b, 2 * bits);
+}
+
+Network epfl_square(unsigned bits) {
+  Network net("square");
+  const Word a = add_pi_word(net, bits, "a");
+  // Structural hashing shares the symmetric partial products a_i & a_j.
+  add_po_word(net, array_multiplier(net, a, a), "p");
+  return net;
+}
+
+std::vector<bool> epfl_square_ref(unsigned bits, const std::vector<bool>& inputs) {
+  assert(inputs.size() == bits && bits <= 32);
+  const uint64_t a = word_to_uint(inputs);
+  return uint_to_word(a * a, 2 * bits);
+}
+
+Network epfl_sin(unsigned bits) {
+  if (bits > 24) {
+    throw std::invalid_argument("epfl_sin: bits must be <= 24");
+  }
+  Network net("sin");
+  const Word x = add_pi_word(net, bits, "x");
+  // x2/x3/x5: truncating Qn powers.
+  const Word xx = array_multiplier(net, x, x);
+  const Word x2 = slice(net, xx, bits, 2 * bits);
+  const Word xxx = array_multiplier(net, x2, x);
+  const Word x3 = slice(net, xxx, bits, 2 * bits);
+  const Word xxxxx = array_multiplier(net, x2, x3);
+  const Word x5 = slice(net, xxxxx, bits, 2 * bits);
+  // y = (C1*x + C5*x5 - C3*x3) >> n, n+1 output bits.
+  const Word t1 = constant_multiply(net, x, sin_c1(bits));
+  const Word t3 = constant_multiply(net, x3, sin_c3(bits));
+  const Word t5 = constant_multiply(net, x5, sin_c5(bits));
+  Word pos = add_unsigned(net, t1, t5);
+  pos.resize(2 * bits + 2, net.get_const0());
+  Word diff = subtract_unsigned(net, pos, t3);
+  diff.pop_back();  // borrow is always 0: C1*x + C5*x5 >= C3*x3 on [0,1)
+  add_po_word(net, slice(net, diff, bits, 2 * bits + 1), "y");
+  return net;
+}
+
+std::vector<bool> epfl_sin_ref(unsigned bits, const std::vector<bool>& inputs) {
+  assert(inputs.size() == bits && bits <= 24);
+  const uint64_t x = word_to_uint(inputs);
+  const uint64_t x2 = (x * x) >> bits;
+  const uint64_t x3 = (x2 * x) >> bits;
+  const uint64_t x5 = (x2 * x3) >> bits;
+  const uint64_t y = (sin_c1(bits) * x + sin_c5(bits) * x5 - sin_c3(bits) * x3) >> bits;
+  return uint_to_word(y, bits + 1);
+}
+
+Network epfl_log2(unsigned bits, unsigned frac_bits) {
+  if (bits < 2 || bits > 24) {
+    throw std::invalid_argument("epfl_log2: bits must be in [2, 24]");
+  }
+  Network net("log2");
+  const Word x = add_pi_word(net, bits, "x");
+  const unsigned ibits = ceil_log2(bits);
+
+  // Priority encoder: one-hot MSB detection, MSB index p, shift s = bits-1-p.
+  std::vector<NodeId> is_msb(bits);
+  NodeId found = net.get_const0();
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    is_msb[i] = net.add_and(x[i], net.add_not(found));
+    found = net.add_or(found, x[i]);
+  }
+  const NodeId valid = found;  // x != 0
+  Word p_word(ibits, net.get_const0());
+  Word s_word(ibits, net.get_const0());
+  for (unsigned i = 0; i < bits; ++i) {
+    for (unsigned k = 0; k < ibits; ++k) {
+      if ((i >> k) & 1) {
+        p_word[k] = net.add_or(p_word[k], is_msb[i]);
+      }
+      if (((bits - 1 - i) >> k) & 1) {
+        s_word[k] = net.add_or(s_word[k], is_msb[i]);
+      }
+    }
+  }
+
+  // Barrel shifter: m = x << s, kept at `bits` wires (high bits are zero).
+  Word m = x;
+  for (unsigned k = 0; k < ibits; ++k) {
+    Word shifted(bits, net.get_const0());
+    for (unsigned i = 0; i < bits; ++i) {
+      const unsigned amount = 1u << k;
+      shifted[i] = i >= amount ? m[i - amount] : net.get_const0();
+    }
+    m = mux_word(net, s_word[k], shifted, m);
+  }
+
+  // Digit-by-digit fraction: repeatedly square the Q1.(bits-1) mantissa.
+  Word frac;  // collected MSB-first, emitted LSB-first below
+  for (unsigned k = 0; k < frac_bits; ++k) {
+    const Word sq = array_multiplier(net, m, m);  // Q2.(2*bits-2)
+    const NodeId ge2 = sq[2 * bits - 1];
+    frac.push_back(net.add_and(ge2, valid));
+    m = mux_word(net, ge2, slice(net, sq, bits, 2 * bits),
+                 slice(net, sq, bits - 1, 2 * bits - 1));
+  }
+
+  for (unsigned k = 0; k < ibits; ++k) {
+    net.add_po(net.add_and(p_word[k], valid), "i" + std::to_string(k));
+  }
+  for (unsigned k = 0; k < frac_bits; ++k) {
+    // Output LSB first: frac[frac_bits-1-k] is the k-th fraction LSB.
+    net.add_po(frac[frac_bits - 1 - k], "f" + std::to_string(k));
+  }
+  return net;
+}
+
+std::vector<bool> epfl_log2_ref(unsigned bits, unsigned frac_bits,
+                                const std::vector<bool>& inputs) {
+  assert(inputs.size() == bits && bits <= 24);
+  const unsigned ibits = ceil_log2(bits);
+  const uint64_t x = word_to_uint(inputs);
+  std::vector<bool> out(ibits + frac_bits, false);
+  if (x == 0) {
+    return out;
+  }
+  unsigned p = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    if ((x >> i) & 1) {
+      p = i;
+    }
+  }
+  for (unsigned k = 0; k < ibits; ++k) {
+    out[k] = (p >> k) & 1;
+  }
+  uint64_t m = x << (bits - 1 - p);  // Q1.(bits-1), in [1, 2)
+  std::vector<bool> frac_msb_first;
+  for (unsigned k = 0; k < frac_bits; ++k) {
+    const uint64_t sq = m * m;  // Q2.(2*bits-2)
+    const bool ge2 = (sq >> (2 * bits - 1)) & 1;
+    frac_msb_first.push_back(ge2);
+    m = ge2 ? (sq >> bits) & ((uint64_t{1} << bits) - 1)
+            : (sq >> (bits - 1)) & ((uint64_t{1} << bits) - 1);
+  }
+  for (unsigned k = 0; k < frac_bits; ++k) {
+    out[ibits + k] = frac_msb_first[frac_bits - 1 - k];
+  }
+  return out;
+}
+
+Network epfl_voter(unsigned inputs) {
+  // Binary adder tree over the ballots followed by a threshold comparator.
+  // (A carry-save counter tree would be perfectly path-balanced and need
+  // almost no DFFs — unrepresentative of a mapped netlist; the ripple
+  // sub-adders of the tree reproduce the imbalance real voters show.)
+  Network net("voter");
+  const Word in = add_pi_word(net, inputs, "v");
+  std::vector<Word> layer;
+  layer.reserve(inputs);
+  for (const NodeId bit : in) {
+    layer.push_back(Word{bit});
+  }
+  while (layer.size() > 1) {
+    std::vector<Word> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(add_unsigned(net, layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2 == 1) {
+      next.push_back(layer.back());
+    }
+    layer = std::move(next);
+  }
+  net.add_po(greater_equal_const(net, layer[0], inputs / 2 + 1), "maj");
+  return net;
+}
+
+std::vector<bool> epfl_voter_ref(unsigned inputs, const std::vector<bool>& in) {
+  assert(in.size() == inputs);
+  unsigned ones = 0;
+  for (const bool b : in) {
+    ones += b;
+  }
+  return {ones >= inputs / 2 + 1};
+}
+
+}  // namespace bench
+}  // namespace t1sfq

@@ -1,0 +1,58 @@
+#include "benchmarks/iscas.hpp"
+
+#include <cassert>
+
+#include "benchmarks/arith.hpp"
+
+namespace t1sfq {
+namespace bench {
+
+Network c6288_like(unsigned bits) {
+  Network net("c6288");
+  const Word a = add_pi_word(net, bits, "a");
+  const Word b = add_pi_word(net, bits, "b");
+  add_po_word(net, array_multiplier(net, a, b), "p");
+  return net;
+}
+
+std::vector<bool> c6288_ref(unsigned bits, const std::vector<bool>& inputs) {
+  assert(inputs.size() == 2 * bits && bits <= 32);
+  const uint64_t a = word_to_uint({inputs.begin(), inputs.begin() + bits});
+  const uint64_t b = word_to_uint({inputs.begin() + bits, inputs.end()});
+  return uint_to_word(a * b, 2 * bits);
+}
+
+Network c7552_like(unsigned bits) {
+  Network net("c7552");
+  const Word a = add_pi_word(net, bits, "a");
+  const Word b = add_pi_word(net, bits, "b");
+  const NodeId cin = net.add_pi("cin");
+  const Word sum = ripple_carry_adder(net, a, b, cin);
+  add_po_word(net, sum, "s");  // bits + carry-out
+  net.add_po(equals(net, a, b), "eq");
+  net.add_po(greater_than(net, a, b), "gt");
+  net.add_po(parity(net, a), "pa");
+  net.add_po(parity(net, b), "pb");
+  return net;
+}
+
+std::vector<bool> c7552_ref(unsigned bits, const std::vector<bool>& inputs) {
+  assert(inputs.size() == 2 * bits + 1 && bits <= 63);
+  const uint64_t a = word_to_uint({inputs.begin(), inputs.begin() + bits});
+  const uint64_t b = word_to_uint({inputs.begin() + bits, inputs.begin() + 2 * bits});
+  const uint64_t cin = inputs[2 * bits] ? 1 : 0;
+  std::vector<bool> out = uint_to_word(a + b + cin, bits + 1);
+  out.push_back(a == b);
+  out.push_back(a > b);
+  bool pa = false, pb = false;
+  for (unsigned i = 0; i < bits; ++i) {
+    pa ^= (a >> i) & 1;
+    pb ^= (b >> i) & 1;
+  }
+  out.push_back(pa);
+  out.push_back(pb);
+  return out;
+}
+
+}  // namespace bench
+}  // namespace t1sfq

@@ -1,0 +1,30 @@
+#pragma once
+/// \file iscas.hpp
+/// \brief ISCAS-85 style benchmark generators (c6288, c7552).
+///
+/// Table I includes two ISCAS-85 circuits. The original netlists are verbatim
+/// gate dumps; we regenerate functional equivalents with the documented
+/// high-level structure (Hansen et al., IEEE D&T 1999 — paper ref. [13]):
+///
+///  * c6288 is a 16x16 array multiplier built from a grid of half/full
+///    adders — `c6288_like()` is exactly that (same CSA-array structure).
+///  * c7552 is a 32-bit adder/comparator with input parity logic;
+///    `c7552_like()` implements a 32-bit adder, magnitude comparator
+///    (equal / greater), and input parity trees. The original also contains
+///    bus-interface glue we do not model; see DESIGN.md §2.
+
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace t1sfq {
+namespace bench {
+
+Network c6288_like(unsigned bits = 16);
+std::vector<bool> c6288_ref(unsigned bits, const std::vector<bool>& inputs);
+
+Network c7552_like(unsigned bits = 32);
+std::vector<bool> c7552_ref(unsigned bits, const std::vector<bool>& inputs);
+
+}  // namespace bench
+}  // namespace t1sfq

@@ -1,0 +1,54 @@
+#include "benchmarks/suite.hpp"
+
+#include <algorithm>
+
+#include "benchmarks/epfl.hpp"
+#include "benchmarks/iscas.hpp"
+
+namespace t1sfq {
+namespace bench {
+
+namespace {
+
+std::vector<BenchmarkCase> make(unsigned adder_b, unsigned c7552_b, unsigned c6288_b,
+                                unsigned sin_b, unsigned voter_n, unsigned square_b,
+                                unsigned mult_b, unsigned log2_b) {
+  const unsigned log2_frac = std::max(2u, log2_b / 2);
+  return {
+      {"adder", [=] { return epfl_adder(adder_b); },
+       [=](const std::vector<bool>& in) { return epfl_adder_ref(adder_b, in); }},
+      {"c7552", [=] { return c7552_like(c7552_b); },
+       [=](const std::vector<bool>& in) { return c7552_ref(c7552_b, in); }},
+      {"c6288", [=] { return c6288_like(c6288_b); },
+       [=](const std::vector<bool>& in) { return c6288_ref(c6288_b, in); }},
+      {"sin", [=] { return epfl_sin(sin_b); },
+       [=](const std::vector<bool>& in) { return epfl_sin_ref(sin_b, in); }},
+      {"voter", [=] { return epfl_voter(voter_n); },
+       [=](const std::vector<bool>& in) { return epfl_voter_ref(voter_n, in); }},
+      {"square", [=] { return epfl_square(square_b); },
+       [=](const std::vector<bool>& in) { return epfl_square_ref(square_b, in); }},
+      {"multiplier", [=] { return epfl_multiplier(mult_b); },
+       [=](const std::vector<bool>& in) { return epfl_multiplier_ref(mult_b, in); }},
+      {"log2", [=] { return epfl_log2(log2_b, log2_frac); },
+       [=](const std::vector<bool>& in) { return epfl_log2_ref(log2_b, log2_frac, in); }},
+  };
+}
+
+}  // namespace
+
+std::vector<BenchmarkCase> make_suite() {
+  return make(128, 32, 16, 16, 1001, 32, 32, 16);
+}
+
+std::vector<BenchmarkCase> make_suite_scaled(unsigned shrink) {
+  const auto s = [&](unsigned w) { return std::max(2u, w / shrink); };
+  unsigned voter = std::max(5u, 1001 / shrink);
+  if (voter % 2 == 0) {
+    ++voter;  // keep an odd electorate: a strict majority always exists
+  }
+  return make(s(128), s(32), s(16), std::max(4u, 16 / shrink), voter, s(32), s(32),
+              std::max(4u, 16 / shrink));
+}
+
+}  // namespace bench
+}  // namespace t1sfq

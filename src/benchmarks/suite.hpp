@@ -1,0 +1,36 @@
+#pragma once
+/// \file suite.hpp
+/// \brief Registry of the Table-I benchmark set.
+///
+/// One entry per row of the paper's Table I, in the paper's order. Each entry
+/// carries the generator, a bit-exact reference model, and the default sizing
+/// used by `bench/table1`. `make_suite(scale)` allows proportionally smaller
+/// circuits for quick tests (scale = 1 reproduces the defaults).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace t1sfq {
+namespace bench {
+
+struct BenchmarkCase {
+  std::string name;
+  std::function<Network()> generate;
+  /// Reference model over the same PI ordering; empty when a case has no
+  /// closed-form model (never the case in this suite).
+  std::function<std::vector<bool>(const std::vector<bool>&)> reference;
+};
+
+/// All eight Table-I rows at their default sizes (adder 128b, c7552 32b,
+/// c6288 16x16, sin 16b, voter 1001, square 32b, multiplier 32b, log2 16b).
+std::vector<BenchmarkCase> make_suite();
+
+/// Reduced-width variants for fast tests: every width is divided by
+/// \p shrink (minimum 2 bits; voter inputs divided likewise, kept odd).
+std::vector<BenchmarkCase> make_suite_scaled(unsigned shrink);
+
+}  // namespace bench
+}  // namespace t1sfq

@@ -1,0 +1,42 @@
+#include "core/energy.hpp"
+
+#include "core/flow.hpp"
+
+namespace t1sfq {
+
+EnergyReport estimate_energy(const PhysicalNetlist& phys, const CellLibrary& lib,
+                             const AreaConfig& area, const EnergyParams& params) {
+  EnergyReport report;
+  const double e_switch = params.ic_amps * params.phi0_wb;  // joule per 2π slip
+
+  double switches_per_cycle = 0.0;
+  std::size_t clocked_cells = 0;
+  for (NodeId id = 0; id < phys.net.size(); ++id) {
+    const Node& n = phys.net.node(id);
+    if (n.dead) continue;
+    const unsigned jj = lib.jj_cost(n.type, n.port);
+    if (is_clocked(n.type)) {
+      ++clocked_cells;
+      // Clock JJs fire every cycle; data JJs with the signal activity.
+      switches_per_cycle += params.clock_jj_per_cell;
+      switches_per_cycle += params.activity * params.data_jj_fraction * jj;
+    } else if (jj > 0) {
+      // Passive cells (splitter trees are counted separately below).
+      switches_per_cycle += params.activity * jj;
+    }
+  }
+  if (area.count_splitters) {
+    switches_per_cycle +=
+        params.activity * static_cast<double>(phys.num_splitters) * lib.jj_splitter;
+  }
+
+  report.total_jj = physical_area_jj(phys, lib, area);
+  report.dynamic_fj_per_cycle = switches_per_cycle * e_switch * 1e15;
+  report.dynamic_uw = switches_per_cycle * e_switch * params.clock_ghz * 1e9 * 1e6;
+  // Static bias: every JJ is biased at ~0.7 Ic from the bias voltage rail.
+  report.static_uw =
+      static_cast<double>(report.total_jj) * 0.7 * params.ic_amps * params.bias_voltage * 1e6;
+  return report;
+}
+
+}  // namespace t1sfq

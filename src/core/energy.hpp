@@ -1,0 +1,50 @@
+#pragma once
+/// \file energy.hpp (core: consumes the flow's physical netlists)
+/// \brief First-order RSFQ energy model.
+///
+/// The paper motivates RSFQ with "two to three orders of magnitude less power
+/// ... than CMOS" (§I). This module quantifies our mapped netlists with the
+/// standard first-order model:
+///
+///   * switching energy: every JJ 2π phase slip dissipates ≈ Ic·Φ0
+///     (~2·10⁻¹⁹ J at Ic = 0.1 mA) — per clock cycle, each clocked cell
+///     switches its clock JJs and, with probability = signal activity, a
+///     data path through the cell;
+///   * static power: the bias network dissipates I_b·V_b per JJ continuously
+///     in conventional resistor-biased RSFQ.
+///
+/// The absolute numbers are indicative (the cell-level switch counts are an
+/// approximation), but ratios across mappings use identical assumptions, so
+/// the T1-vs-baseline comparison is meaningful.
+
+#include <cstdint>
+
+#include "core/dff_insertion.hpp"
+#include "sfq/cell_library.hpp"
+
+namespace t1sfq {
+
+struct EnergyParams {
+  double ic_amps = 1e-4;        ///< junction critical current
+  double phi0_wb = 2.067833848e-15;
+  double activity = 0.5;        ///< average data switching probability
+  double clock_ghz = 30.0;      ///< for static-vs-dynamic comparison
+  double bias_voltage = 2.6e-3; ///< conventional resistive bias ladder
+  /// Fraction of a cell's JJs that switch on a data pulse (clock JJs always
+  /// switch on clocked cells).
+  double data_jj_fraction = 0.5;
+  double clock_jj_per_cell = 2.0;
+};
+
+struct EnergyReport {
+  double dynamic_fj_per_cycle = 0.0;  ///< switching energy, femtojoule / cycle
+  double static_uw = 0.0;             ///< bias dissipation, microwatt
+  double dynamic_uw = 0.0;            ///< at params.clock_ghz
+  uint64_t total_jj = 0;
+};
+
+/// Energy of a scheduled physical netlist under the given area accounting.
+EnergyReport estimate_energy(const PhysicalNetlist& phys, const CellLibrary& lib,
+                             const AreaConfig& area, const EnergyParams& params = {});
+
+}  // namespace t1sfq

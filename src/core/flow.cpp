@@ -1,0 +1,79 @@
+#include "core/flow.hpp"
+
+#include <stdexcept>
+
+#include "network/equivalence.hpp"
+#include "sfq/pulse_sim.hpp"
+
+namespace t1sfq {
+
+uint64_t physical_area_jj(const PhysicalNetlist& phys, const CellLibrary& lib,
+                          const AreaConfig& cfg) {
+  uint64_t area = 0;
+  std::size_t clocked = 0;
+  for (NodeId id = 0; id < phys.net.size(); ++id) {
+    const Node& n = phys.net.node(id);
+    if (n.dead) continue;
+    area += lib.jj_cost(n.type, n.port);
+    if (is_clocked(n.type)) {
+      ++clocked;
+    }
+  }
+  if (cfg.count_splitters) {
+    area += static_cast<uint64_t>(phys.num_splitters) * lib.jj_splitter;
+  }
+  area += static_cast<uint64_t>(clocked) * cfg.clock_jj_per_clocked;
+  return area;
+}
+
+FlowResult run_flow(const Network& input, const FlowParams& params) {
+  if (params.use_t1 && params.clk.phases < 4) {
+    throw std::invalid_argument(
+        "run_flow: T1 cells need >= 4 clock phases (three distinct landing slots)");
+  }
+
+  FlowResult result;
+  result.mapped = input.cleanup();
+
+  if (params.use_t1) {
+    const T1DetectionStats det =
+        detect_and_replace_t1(result.mapped, params.lib, params.detection);
+    result.metrics.t1_found = det.found;
+    result.metrics.t1_used = det.used;
+    result.mapped = result.mapped.cleanup();
+  }
+
+  PhaseAssignmentParams pp;
+  pp.clk = params.clk;
+  pp.engine = params.engine;
+  pp.max_sweeps = params.max_sweeps;
+  pp.milp_max_nodes = params.milp_max_nodes;
+  pp.output_slack = params.output_slack;
+  result.assignment = assign_phases(result.mapped, pp);
+  if (!result.assignment.feasible) {
+    throw std::runtime_error("run_flow: no feasible phase assignment");
+  }
+
+  result.physical = insert_dffs(result.mapped, result.assignment, params.clk);
+
+  result.metrics.num_dffs = result.physical.num_dffs;
+  result.metrics.num_splitters = result.physical.num_splitters;
+  result.metrics.num_gates =
+      result.physical.net.num_gates() - result.physical.num_dffs;
+  result.metrics.area_jj = physical_area_jj(result.physical, params.lib, params.area);
+  // Depth in cycles: epoch of the last real firing (the virtual PO sink sits
+  // one stage after the deepest balanced element).
+  result.metrics.depth_cycles = params.clk.cycles(result.assignment.output_stage - 1);
+  return result;
+}
+
+bool verify_flow(const FlowResult& result, const Network& golden,
+                 const MultiphaseConfig& clk, unsigned pulse_rounds) {
+  if (check_equivalence(result.mapped, golden).result != EquivalenceResult::Equivalent) {
+    return false;
+  }
+  return pulse_verify(result.physical.net, result.physical.stage, clk, golden,
+                      pulse_rounds);
+}
+
+}  // namespace t1sfq

@@ -1,0 +1,71 @@
+#pragma once
+/// \file flow.hpp
+/// \brief End-to-end T1-aware technology mapping flow (paper §II).
+///
+/// run_flow() drives the three stages on a mapped network:
+///   1. T1 detection & rewrite (t1_detection.hpp)     — optional (`use_t1`),
+///   2. phase assignment (phase_assignment.hpp),
+///   3. DFF insertion (dff_insertion.hpp),
+/// and reports the Table-I metrics: path-balancing DFF count, area in JJ,
+/// and logic depth in clock cycles. Setting `clk.phases = 1, use_t1 = false`
+/// reproduces the single-phase baseline (1φ); `phases = 4, use_t1 = false`
+/// the multiphase baseline (4φ); `phases = 4, use_t1 = true` the paper's
+/// proposed flow (column "T1").
+
+#include <cstdint>
+
+#include "core/dff_insertion.hpp"
+#include "core/phase_assignment.hpp"
+#include "core/t1_detection.hpp"
+#include "network/network.hpp"
+#include "sfq/cell_library.hpp"
+#include "sfq/clocking.hpp"
+
+namespace t1sfq {
+
+struct FlowParams {
+  MultiphaseConfig clk{4};
+  bool use_t1 = true;
+  PhaseEngine engine = PhaseEngine::Heuristic;
+  unsigned max_sweeps = 12;
+  uint64_t milp_max_nodes = 20000;
+  /// Latency slack for a min-area mode: extra stages granted to the balanced
+  /// output sink (see PhaseAssignmentParams::output_slack).
+  Stage output_slack = 0;
+  CellLibrary lib{};
+  AreaConfig area{};
+  T1DetectionParams detection{};
+};
+
+struct FlowMetrics {
+  std::size_t num_gates = 0;      ///< logic cells (incl. T1 bodies, excl. DFFs)
+  std::size_t num_dffs = 0;       ///< path-balancing DFFs (Table I "#DFF")
+  std::size_t num_splitters = 0;
+  uint64_t area_jj = 0;           ///< Table I "Area"
+  Stage depth_cycles = 0;         ///< Table I "Depth"
+  std::size_t t1_found = 0;
+  std::size_t t1_used = 0;
+};
+
+struct FlowResult {
+  Network mapped;           ///< logical network after (optional) T1 rewrite
+  PhaseAssignment assignment;
+  PhysicalNetlist physical;
+  FlowMetrics metrics;
+};
+
+/// Runs the flow. Throws std::invalid_argument when `use_t1` is combined with
+/// fewer than 4 phases (the three landing slots of eq. 3 need n ≥ 4).
+FlowResult run_flow(const Network& input, const FlowParams& params = {});
+
+/// Area metric on a physical netlist (gates + DFFs + splitters + clock share).
+uint64_t physical_area_jj(const PhysicalNetlist& phys, const CellLibrary& lib,
+                          const AreaConfig& cfg);
+
+/// Full functional verification of a flow result against the original
+/// network: SAT equivalence of the mapped network plus pulse-level simulation
+/// of the physical netlist (timing legality + function).
+bool verify_flow(const FlowResult& result, const Network& golden,
+                 const MultiphaseConfig& clk, unsigned pulse_rounds = 2);
+
+}  // namespace t1sfq

@@ -1,0 +1,638 @@
+#include "core/phase_assignment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "solver/milp.hpp"
+
+namespace t1sfq {
+
+namespace {
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+
+bool is_scheduled(GateType t) { return is_clocked(t); }
+
+bool is_const(const Network& net, NodeId id) {
+  const GateType t = net.node(id).type;
+  return t == GateType::Const0 || t == GateType::Const1;
+}
+
+/// DFFs on a dedicated chain from a producer at \p sd to an exact landing
+/// stage \p t (T1 input slots); kInf when infeasible.
+int64_t landing_chain_cost(Stage sd, Stage t, Stage n) {
+  if (t < sd) {
+    return kInf;
+  }
+  if (t == sd) {
+    return 0;
+  }
+  const Stage gap = t - sd;
+  return gap % n == 0 ? gap / n : gap / n + 1;
+}
+
+/// Deterministic minimum-cost landing-slot permutation for a T1 body
+/// (slots[i] = slot of fanin i, slot ∈ {1,2,3}).
+std::array<int, 3> t1_slot_perm(const Network& net, const std::vector<Stage>& stage,
+                                NodeId t1, Stage n, int64_t* cost_out = nullptr) {
+  const Node& body = net.node(t1);
+  const Stage sj = stage[t1];
+  std::array<Stage, 3> sd;
+  for (unsigned i = 0; i < 3; ++i) {
+    sd[i] = stage[resolve_producer(net, body.fanin(i))];
+  }
+  std::array<int, 3> slots{1, 2, 3};
+  std::array<int, 3> best = slots;
+  int64_t best_cost = kInf;
+  std::array<int, 3> perm{1, 2, 3};
+  do {
+    int64_t cost = 0;
+    for (unsigned i = 0; i < 3 && cost < kInf; ++i) {
+      const int64_t c = landing_chain_cost(sd[i], sj - perm[i], n);
+      cost = c >= kInf ? kInf : cost + c;
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  if (cost_out) {
+    *cost_out = best_cost;
+  }
+  return best;
+}
+
+}  // namespace
+
+NodeId resolve_producer(const Network& net, NodeId id) {
+  NodeId cur = id;
+  for (;;) {
+    const Node& n = net.node(cur);
+    if (n.type == GateType::T1Port || n.type == GateType::Buf) {
+      cur = n.fanin(0);
+    } else {
+      return cur;
+    }
+  }
+}
+
+NodeId driver_key(const Network& net, NodeId id) {
+  NodeId cur = id;
+  while (net.node(cur).type == GateType::Buf) {
+    cur = net.node(cur).fanin(0);
+  }
+  return cur;
+}
+
+int64_t InsertionPlan::total_dffs() const {
+  int64_t total = dedicated_landings;
+  for (const Stage s : spine_len) {
+    total += s;
+  }
+  return total;
+}
+
+InsertionPlan plan_dffs(const Network& net, const std::vector<Stage>& stage,
+                        Stage output_stage, const MultiphaseConfig& clk) {
+  InsertionPlan plan;
+  plan.spine_len.assign(net.size(), 0);
+  const Stage n = static_cast<Stage>(clk.phases);
+
+  // Spines are indexed by the physical pin (driver_key): two ports of the
+  // same T1 body carry different signals and never share a chain.
+  const auto raise_spine = [&](NodeId key, Stage req) {
+    if (!is_const(net, resolve_producer(net, key))) {
+      plan.spine_len[key] = std::max(plan.spine_len[key], req);
+    }
+  };
+  const auto stage_of = [&](NodeId key) { return stage[resolve_producer(net, key)]; };
+
+  for (const NodeId id : net.topo_order()) {
+    const Node& node = net.node(id);
+    if (node.type == GateType::T1) {
+      int64_t cost = 0;
+      const auto slots = t1_slot_perm(net, stage, id, n, &cost);
+      assert(cost < kInf && "infeasible T1 slot assignment");
+      plan.t1_slots[id] = slots;
+      for (unsigned i = 0; i < 3; ++i) {
+        const NodeId key = driver_key(net, node.fanin(i));
+        const Stage sd = stage_of(key);
+        const Stage t = stage[id] - slots[i];
+        if (t == sd || is_const(net, resolve_producer(net, key))) {
+          continue;
+        }
+        const Stage gap = t - sd;
+        if (gap % n == 0) {
+          raise_spine(key, gap / n);
+        } else {
+          raise_spine(key, gap / n);
+          ++plan.dedicated_landings;
+        }
+      }
+    } else if (is_scheduled(node.type)) {
+      for (uint8_t i = 0; i < node.num_fanins; ++i) {
+        const NodeId key = driver_key(net, node.fanin(i));
+        raise_spine(key, clk.dffs_on_edge(stage_of(key), stage[id]));
+      }
+    }
+  }
+  for (const NodeId po : net.pos()) {
+    const NodeId key = driver_key(net, po);
+    raise_spine(key, clk.dffs_on_edge(stage_of(key), output_stage));
+  }
+  return plan;
+}
+
+bool assignment_feasible(const Network& net, const std::vector<Stage>& stage,
+                         Stage output_stage, const MultiphaseConfig& clk) {
+  const Stage n = static_cast<Stage>(clk.phases);
+  for (const NodeId id : net.topo_order()) {
+    const Node& node = net.node(id);
+    if (node.type == GateType::T1) {
+      if (n < 4) {
+        return false;  // slots {1,2,3} need gap <= n-1 on the landing hop
+      }
+      std::array<Stage, 3> s;
+      for (unsigned i = 0; i < 3; ++i) {
+        const NodeId d = resolve_producer(net, node.fanin(i));
+        if (is_const(net, d)) {
+          return false;  // constant pulses into the loop are not supported
+        }
+        s[i] = stage[d];
+      }
+      std::sort(s.begin(), s.end());
+      // Paper eq. 3.
+      if (stage[id] < std::max({s[0] + 3, s[1] + 2, s[2] + 1})) {
+        return false;
+      }
+    } else if (is_scheduled(node.type)) {
+      if (stage[id] < 0) {
+        return false;
+      }
+      for (uint8_t i = 0; i < node.num_fanins; ++i) {
+        const NodeId d = resolve_producer(net, node.fanin(i));
+        if (!is_const(net, d) && stage[id] < stage[d] + 1) {
+          return false;
+        }
+      }
+    }
+  }
+  for (const NodeId po : net.pos()) {
+    const NodeId d = resolve_producer(net, po);
+    if (!is_const(net, d) && output_stage < stage[d] + 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Scheduling context: consumer lists per physical pin (driver_key), plus the
+/// pin list of every scheduled element.
+struct SchedContext {
+  const Network& net;
+  MultiphaseConfig clk;
+  Stage output_stage;
+  /// Consumers (clocked element ids) per pin; kNullNode marks the sink.
+  std::vector<std::vector<NodeId>> consumers;
+  /// Pins owned by each scheduled element (itself, or its T1 ports).
+  std::vector<std::vector<NodeId>> pins;
+
+  SchedContext(const Network& n, const MultiphaseConfig& c, Stage out)
+      : net(n), clk(c), output_stage(out), consumers(n.size()), pins(n.size()) {
+    for (const NodeId id : net.topo_order()) {
+      const Node& node = net.node(id);
+      switch (node.type) {
+        case GateType::T1Port:
+          pins[resolve_producer(net, id)].push_back(id);  // pin of its body
+          break;
+        case GateType::T1:
+          break;  // pins are the ports, collected above
+        case GateType::Buf:
+          break;  // transparent
+        default:
+          pins[id].push_back(id);  // gates, DFFs, PIs, constants: one pin
+      }
+      if (is_scheduled(node.type)) {
+        for (uint8_t i = 0; i < node.num_fanins; ++i) {
+          consumers[driver_key(net, node.fanin(i))].push_back(id);
+        }
+      }
+    }
+    for (const NodeId po : net.pos()) {
+      consumers[driver_key(net, po)].push_back(kNullNode);
+    }
+  }
+
+  Stage stage_of(const std::vector<Stage>& stage, NodeId key) const {
+    return stage[resolve_producer(net, key)];
+  }
+
+  /// Exact spine length of pin `key` under the current stages.
+  Stage spine(const std::vector<Stage>& stage, NodeId key) const {
+    if (is_const(net, resolve_producer(net, key))) {
+      return 0;
+    }
+    const Stage n = static_cast<Stage>(clk.phases);
+    const Stage sd = stage_of(stage, key);
+    Stage req = 0;
+    for (const NodeId j : consumers[key]) {
+      if (j == kNullNode) {
+        req = std::max(req, clk.dffs_on_edge(sd, output_stage));
+      } else if (net.node(j).type == GateType::T1) {
+        const auto slots = t1_slot_perm(net, stage, j, n);
+        const Node& body = net.node(j);
+        for (unsigned i = 0; i < 3; ++i) {
+          if (driver_key(net, body.fanin(i)) != key) continue;
+          const Stage t = stage[j] - slots[i];
+          if (t > sd) {
+            req = std::max(req, (t - sd) / n);  // spine part only
+          }
+        }
+      } else {
+        req = std::max(req, clk.dffs_on_edge(sd, stage[j]));
+      }
+    }
+    return req;
+  }
+
+  /// All spines hanging off the pins of scheduled element `d`.
+  Stage element_spines(const std::vector<Stage>& stage, NodeId d) const {
+    Stage total = 0;
+    for (const NodeId key : pins[d]) {
+      total += spine(stage, key);
+    }
+    return total;
+  }
+
+  /// Dedicated landing DFFs of one T1 body under the current stages.
+  int64_t dedicated(const std::vector<Stage>& stage, NodeId t1) const {
+    const Stage n = static_cast<Stage>(clk.phases);
+    const auto slots = t1_slot_perm(net, stage, t1, n);
+    const Node& body = net.node(t1);
+    int64_t count = 0;
+    for (unsigned i = 0; i < 3; ++i) {
+      const NodeId d = resolve_producer(net, body.fanin(i));
+      const Stage t = stage[t1] - slots[i];
+      if (t > stage[d] && (t - stage[d]) % n != 0) {
+        ++count;
+      }
+    }
+    return count;
+  }
+};
+
+/// Minimal feasible stage for a node given its fanins (local lower bound).
+Stage local_lower_bound(const Network& net, const std::vector<Stage>& stage, NodeId u) {
+  const Node& node = net.node(u);
+  if (node.type == GateType::T1) {
+    std::array<Stage, 3> s;
+    for (unsigned i = 0; i < 3; ++i) {
+      s[i] = stage[resolve_producer(net, node.fanin(i))];
+    }
+    std::sort(s.begin(), s.end());
+    return std::max({s[0] + 3, s[1] + 2, s[2] + 1});
+  }
+  Stage lo = 0;
+  for (uint8_t i = 0; i < node.num_fanins; ++i) {
+    const NodeId d = resolve_producer(net, node.fanin(i));
+    if (!is_const(net, d)) {
+      lo = std::max(lo, stage[d] + 1);
+    }
+  }
+  return lo;
+}
+
+/// Largest stage input u may take so that T1 consumer j stays feasible
+/// (other fanins fixed).
+Stage t1_max_input_stage(const Network& net, const std::vector<Stage>& stage, NodeId j,
+                         NodeId u) {
+  const Node& body = net.node(j);
+  std::vector<Stage> others;
+  for (unsigned i = 0; i < 3; ++i) {
+    const NodeId d = resolve_producer(net, body.fanin(i));
+    if (d != u) {
+      others.push_back(stage[d]);
+    }
+  }
+  const Stage sj = stage[j];
+  const auto feasible = [&](Stage x) {
+    std::vector<Stage> s = others;
+    s.push_back(x);
+    // Fanins from the same driver appear once in `others`; pad with x.
+    while (s.size() < 3) {
+      s.push_back(x);
+    }
+    std::sort(s.begin(), s.end());
+    return sj >= std::max({s[0] + 3, s[1] + 2, s[2] + 1});
+  };
+  for (Stage x = sj - 1; x >= sj - 3; --x) {
+    if (feasible(x)) {
+      return x;
+    }
+  }
+  return sj - 3;  // always feasible as the smallest slot candidate
+}
+
+PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams& params) {
+  PhaseAssignment pa;
+  const auto lvl = net.levels();
+  pa.stage.assign(net.size(), 0);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    pa.stage[id] = static_cast<Stage>(lvl[id]);
+  }
+  Stage out = 0;
+  for (const NodeId po : net.pos()) {
+    out = std::max(out, pa.stage[resolve_producer(net, po)] + 1);
+  }
+  out += params.output_slack;
+  pa.output_stage = out;
+  pa.feasible = assignment_feasible(net, pa.stage, out, params.clk);
+  if (!pa.feasible) {
+    pa.estimated_dffs = -1;
+    return pa;
+  }
+
+  SchedContext ctx(net, params.clk, out);
+  const Stage n = static_cast<Stage>(params.clk.phases);
+  auto order = net.topo_order();
+  std::reverse(order.begin(), order.end());
+
+  for (unsigned sweep = 0; sweep < params.max_sweeps; ++sweep) {
+    bool changed = false;
+    for (const NodeId u : order) {
+      const Node& node = net.node(u);
+      if (!is_scheduled(node.type)) continue;
+
+      const Stage lo = local_lower_bound(net, pa.stage, u);
+      Stage hi = kInf;
+      std::vector<NodeId> u_consumers;
+      for (const NodeId pin : ctx.pins[u]) {
+        u_consumers.insert(u_consumers.end(), ctx.consumers[pin].begin(),
+                           ctx.consumers[pin].end());
+      }
+      for (const NodeId j : u_consumers) {
+        if (j == kNullNode) {
+          hi = std::min(hi, out - 1);
+        } else if (net.node(j).type == GateType::T1) {
+          hi = std::min(hi, t1_max_input_stage(net, pa.stage, j, u));
+        } else {
+          hi = std::min(hi, pa.stage[j] - 1);
+        }
+      }
+      if (hi >= kInf) {
+        hi = out - 1;  // dead-end driver (shouldn't happen after sweep)
+      }
+      if (hi <= lo) {
+        continue;
+      }
+
+      // Affected cost scope: u, u's fanin drivers, all drivers of u's T1
+      // consumers; plus dedicated counts of adjacent T1s.
+      std::vector<NodeId> drivers{u};
+      std::vector<NodeId> t1s;
+      if (node.type == GateType::T1) {
+        t1s.push_back(u);
+      }
+      for (uint8_t i = 0; i < node.num_fanins; ++i) {
+        drivers.push_back(resolve_producer(net, node.fanin(i)));
+      }
+      for (const NodeId j : u_consumers) {
+        if (j != kNullNode && net.node(j).type == GateType::T1) {
+          t1s.push_back(j);
+          const Node& body = net.node(j);
+          for (unsigned i = 0; i < 3; ++i) {
+            drivers.push_back(resolve_producer(net, body.fanin(i)));
+          }
+        }
+      }
+      std::sort(drivers.begin(), drivers.end());
+      drivers.erase(std::unique(drivers.begin(), drivers.end()), drivers.end());
+      std::sort(t1s.begin(), t1s.end());
+      t1s.erase(std::unique(t1s.begin(), t1s.end()), t1s.end());
+
+      const auto local_cost = [&]() {
+        int64_t c = 0;
+        for (const NodeId d : drivers) {
+          c += ctx.element_spines(pa.stage, d);
+        }
+        for (const NodeId j : t1s) {
+          c += ctx.dedicated(pa.stage, j);
+        }
+        return c;
+      };
+
+      const Stage original = pa.stage[u];
+      int64_t best_cost = local_cost();
+      Stage best_stage = original;
+      // Candidate window: full range when small, else both ends.
+      std::vector<Stage> candidates;
+      if (hi - lo <= 6 * n) {
+        for (Stage x = lo; x <= hi; ++x) {
+          candidates.push_back(x);
+        }
+      } else {
+        for (Stage x = lo; x <= lo + 3 * n; ++x) {
+          candidates.push_back(x);
+        }
+        for (Stage x = hi - 3 * n; x <= hi; ++x) {
+          candidates.push_back(x);
+        }
+      }
+      for (const Stage x : candidates) {
+        if (x == original) continue;
+        pa.stage[u] = x;
+        if (node.type == GateType::T1 && pa.stage[u] < local_lower_bound(net, pa.stage, u)) {
+          continue;  // eq. 3 must keep holding for u itself
+        }
+        const int64_t c = local_cost();
+        if (c < best_cost) {
+          best_cost = c;
+          best_stage = x;
+        }
+      }
+      pa.stage[u] = best_stage;
+      if (best_stage != original) {
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  // Ports/bufs mirror their producer (consumers always resolve, but the
+  // reported stage should be meaningful).
+  for (const NodeId id : net.topo_order()) {
+    const Node& node = net.node(id);
+    if (node.type == GateType::T1Port || node.type == GateType::Buf) {
+      pa.stage[id] = pa.stage[resolve_producer(net, id)];
+    }
+  }
+  assert(assignment_feasible(net, pa.stage, out, params.clk));
+  pa.estimated_dffs = plan_dffs(net, pa.stage, out, params.clk).total_dffs();
+  return pa;
+}
+
+PhaseAssignment milp_assign(const Network& net, const PhaseAssignmentParams& params) {
+  // Seed with the heuristic: it fixes the output stage and provides bounds
+  // and a fallback result.
+  PhaseAssignment seed = heuristic_assign(net, params);
+  if (!seed.feasible) {
+    return seed;
+  }
+  const Stage out = seed.output_stage;
+  const Stage n = static_cast<Stage>(params.clk.phases);
+  const auto lvl = net.levels();
+
+  LinearProgram lp;
+  std::vector<int> var(net.size(), -1);
+  std::vector<int> integer_vars;
+  for (const NodeId id : net.topo_order()) {
+    if (is_scheduled(net.node(id).type)) {
+      var[id] = lp.add_variable(static_cast<double>(lvl[id]), static_cast<double>(out - 1), 0.0);
+      integer_vars.push_back(var[id]);
+    }
+  }
+  const auto stage_term = [&](NodeId d) -> std::pair<int, double> {
+    // Returns (var index or -1, constant) for a producer's stage.
+    if (var[d] >= 0) {
+      return {var[d], 0.0};
+    }
+    return {-1, 0.0};  // PIs and constants sit at stage 0
+  };
+
+  SchedContext ctx(net, params.clk, out);
+  // One m_d per physical pin with consumers.
+  std::vector<int> m_var(net.size(), -1);
+  for (NodeId d = 0; d < net.size(); ++d) {
+    if (!ctx.consumers[d].empty() && !is_const(net, resolve_producer(net, d))) {
+      m_var[d] = lp.add_variable(0.0, static_cast<double>(out), 1.0);
+      integer_vars.push_back(m_var[d]);
+    }
+  }
+
+  for (const NodeId id : net.topo_order()) {
+    const Node& node = net.node(id);
+    if (!is_scheduled(node.type)) continue;
+    if (node.type == GateType::T1) {
+      // Assignment binaries y[i][l]: fanin i takes slot l+1.
+      int y[3][3];
+      for (int i = 0; i < 3; ++i) {
+        for (int l = 0; l < 3; ++l) {
+          y[i][l] = lp.add_variable(0.0, 1.0, 0.0);
+          integer_vars.push_back(y[i][l]);
+        }
+      }
+      for (int i = 0; i < 3; ++i) {
+        std::vector<std::pair<int, double>> row{{y[i][0], 1.0}, {y[i][1], 1.0}, {y[i][2], 1.0}};
+        lp.add_row(row, 1.0, 1.0);
+      }
+      for (int l = 0; l < 3; ++l) {
+        std::vector<std::pair<int, double>> col{{y[0][l], 1.0}, {y[1][l], 1.0}, {y[2][l], 1.0}};
+        lp.add_row(col, 1.0, 1.0);
+      }
+      for (int i = 0; i < 3; ++i) {
+        const NodeId sched = resolve_producer(net, node.fanin(i));
+        const NodeId pin = driver_key(net, node.fanin(i));
+        const auto [dv, dc] = stage_term(sched);
+        // sigma_j - sigma_d - sum_l (l+1) y[i][l] >= 0.
+        std::vector<std::pair<int, double>> row{{var[id], 1.0}};
+        if (dv >= 0) {
+          row.push_back({dv, -1.0});
+        }
+        for (int l = 0; l < 3; ++l) {
+          row.push_back({y[i][l], -(l + 1.0)});
+        }
+        lp.add_row(row, dc, kLpInfinity);
+        // Spine bound (T1 edge charged like a plain consumer).
+        if (m_var[pin] >= 0) {
+          std::vector<std::pair<int, double>> mr{{m_var[pin], static_cast<double>(n)},
+                                                 {var[id], -1.0}};
+          if (dv >= 0) {
+            mr.push_back({dv, 1.0});
+          }
+          lp.add_row(mr, -static_cast<double>(n) - dc, kLpInfinity);
+        }
+      }
+    } else {
+      for (uint8_t i = 0; i < node.num_fanins; ++i) {
+        const NodeId sched = resolve_producer(net, node.fanin(i));
+        const NodeId pin = driver_key(net, node.fanin(i));
+        if (is_const(net, sched)) continue;
+        const auto [dv, dc] = stage_term(sched);
+        std::vector<std::pair<int, double>> row{{var[id], 1.0}};
+        if (dv >= 0) {
+          row.push_back({dv, -1.0});
+        }
+        lp.add_row(row, 1.0 + dc, kLpInfinity);
+        if (m_var[pin] >= 0) {
+          std::vector<std::pair<int, double>> mr{{m_var[pin], static_cast<double>(n)},
+                                                 {var[id], -1.0}};
+          if (dv >= 0) {
+            mr.push_back({dv, 1.0});
+          }
+          lp.add_row(mr, -static_cast<double>(n) - dc, kLpInfinity);
+        }
+      }
+    }
+  }
+  for (const NodeId po : net.pos()) {
+    const NodeId sched = resolve_producer(net, po);
+    const NodeId pin = driver_key(net, po);
+    if (is_const(net, sched) || m_var[pin] < 0) continue;
+    const auto [dv, dc] = stage_term(sched);
+    std::vector<std::pair<int, double>> mr{{m_var[pin], static_cast<double>(n)}};
+    if (dv >= 0) {
+      mr.push_back({dv, 1.0});
+    }
+    lp.add_row(mr, static_cast<double>(out - n) - dc, kLpInfinity);
+  }
+
+  MilpParams mp;
+  mp.max_nodes = params.milp_max_nodes;
+  const MilpSolution sol = solve_milp(lp, integer_vars, mp);
+  if (sol.status != MilpStatus::Optimal) {
+    return seed;  // fail soft: keep the heuristic assignment
+  }
+  PhaseAssignment pa;
+  pa.stage.assign(net.size(), 0);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (var[id] >= 0) {
+      pa.stage[id] = static_cast<Stage>(std::llround(sol.x[var[id]]));
+    }
+  }
+  // Aliases (ports/bufs) mirror their producer for reporting convenience.
+  for (const NodeId id : net.topo_order()) {
+    const Node& node = net.node(id);
+    if (node.type == GateType::T1Port || node.type == GateType::Buf) {
+      pa.stage[id] = pa.stage[resolve_producer(net, id)];
+    }
+  }
+  pa.output_stage = out;
+  pa.feasible = assignment_feasible(net, pa.stage, out, params.clk);
+  if (!pa.feasible) {
+    return seed;
+  }
+  pa.estimated_dffs = plan_dffs(net, pa.stage, out, params.clk).total_dffs();
+  // The MILP objective ignores dedicated landings; keep whichever assignment
+  // is better under the exact cost model.
+  return pa.estimated_dffs <= seed.estimated_dffs ? pa : seed;
+}
+
+}  // namespace
+
+PhaseAssignment assign_phases(const Network& net, const PhaseAssignmentParams& params) {
+  switch (params.engine) {
+    case PhaseEngine::ExactMilp:
+      return milp_assign(net, params);
+    case PhaseEngine::Heuristic:
+    default:
+      return heuristic_assign(net, params);
+  }
+}
+
+}  // namespace t1sfq

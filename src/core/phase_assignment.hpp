@@ -1,0 +1,87 @@
+#pragma once
+/// \file phase_assignment.hpp
+/// \brief Stage 2 of the flow: clock-stage assignment (paper §II-B).
+///
+/// Every clocked element g receives a stage σ(g) = n·S(g) + φ(g) subject to
+///   * σ(j) ≥ σ(i) + 1 for every ordinary fanin edge (i, j),
+///   * σ(T1) ≥ max(σ(i1)+3, σ(i2)+2, σ(i3)+1) for T1 fanins sorted by stage
+///     (paper eq. 3 — the three inputs need three distinct landing slots),
+///   * all primary outputs balanced at a common virtual sink stage,
+/// minimizing the number of path-balancing DFFs. The DFF count follows the
+/// shared-spine model (DESIGN.md §4): a driver pays max over its consumers of
+/// ceil((σc−σd)/n) − 1 spine DFFs, plus one dedicated landing DFF per T1
+/// input whose slot stage is not spine-aligned — the discrete analogue of the
+/// paper's collision cost (eq. 4).
+///
+/// Two engines:
+///   * `Heuristic` — ASAP seed + coordinate-descent sweeps over σ, evaluating
+///     the exact shared-spine cost for every candidate move;
+///   * `ExactMilp` — the ILP of the paper (per-driver max objective,
+///     assignment binaries for the T1 slot permutation) solved by the
+///     in-repo branch-and-bound; intended for small/medium networks and used
+///     to validate the heuristic.
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sfq/clocking.hpp"
+
+namespace t1sfq {
+
+enum class PhaseEngine { Heuristic, ExactMilp };
+
+struct PhaseAssignmentParams {
+  MultiphaseConfig clk{};
+  PhaseEngine engine = PhaseEngine::Heuristic;
+  unsigned max_sweeps = 12;        ///< coordinate-descent passes
+  uint64_t milp_max_nodes = 20000; ///< branch-and-bound budget
+  /// Extra stages granted to the balanced-output sink beyond the minimum
+  /// (ASAP) depth. Trading latency for fewer balancing DFFs: with slack the
+  /// scheduler may slide whole subgraphs later so spines shorten.
+  Stage output_slack = 0;
+};
+
+struct PhaseAssignment {
+  std::vector<Stage> stage;  ///< per node (T1 ports/bufs alias their source)
+  Stage output_stage = 0;    ///< virtual balanced-PO sink stage
+  int64_t estimated_dffs = 0;
+  bool feasible = true;
+};
+
+/// DFF placement plan induced by a stage assignment: exactly what the
+/// insertion pass will materialize, and the cost the scheduler optimizes.
+struct InsertionPlan {
+  /// Per T1 body: landing slot (1..3) for each fanin position.
+  std::unordered_map<NodeId, std::array<int, 3>> t1_slots;
+  /// Per driver (indexed by NodeId): shared-spine length in DFFs.
+  std::vector<Stage> spine_len;
+  /// Dedicated (non-spine-aligned) T1 landing DFFs.
+  int64_t dedicated_landings = 0;
+  int64_t total_dffs() const;
+};
+
+/// Computes the insertion plan for a given assignment (the canonical cost
+/// model shared by the scheduler, the inserter, and the tests).
+InsertionPlan plan_dffs(const Network& net, const std::vector<Stage>& stage,
+                        Stage output_stage, const MultiphaseConfig& clk);
+
+/// Resolves a node to the *scheduled element* that times its pulse
+/// (T1 ports resolve to their body; everything else to itself). Use this for
+/// stage lookups.
+NodeId resolve_producer(const Network& net, NodeId id);
+
+/// Resolves a node to the *physical output pin* pulses come from: Buf chains
+/// collapse, but a T1 port keeps its identity (each port is a distinct pin
+/// with its own DFF spine). Use this as the key for spine/fanout accounting.
+NodeId driver_key(const Network& net, NodeId id);
+
+PhaseAssignment assign_phases(const Network& net, const PhaseAssignmentParams& params);
+
+/// Validates eq.-3/edge constraints of an assignment (used by tests).
+bool assignment_feasible(const Network& net, const std::vector<Stage>& stage,
+                         Stage output_stage, const MultiphaseConfig& clk);
+
+}  // namespace t1sfq

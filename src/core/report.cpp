@@ -1,0 +1,94 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace t1sfq {
+
+namespace {
+
+double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+}  // namespace
+
+TableSummary summarize(const std::vector<TableRow>& rows) {
+  TableSummary s;
+  if (rows.empty()) {
+    return s;
+  }
+  // Arithmetic means of per-row ratios, as in the paper's "Average" row.
+  for (const TableRow& r : rows) {
+    s.dff_ratio_vs_1phi += ratio(r.t1.num_dffs, r.single_phase.num_dffs);
+    s.dff_ratio_vs_nphi += ratio(r.t1.num_dffs, r.multi_phase.num_dffs);
+    s.area_ratio_vs_1phi += ratio(r.t1.area_jj, r.single_phase.area_jj);
+    s.area_ratio_vs_nphi += ratio(r.t1.area_jj, r.multi_phase.area_jj);
+    s.depth_ratio_vs_1phi += ratio(r.t1.depth_cycles, r.single_phase.depth_cycles);
+    s.depth_ratio_vs_nphi += ratio(r.t1.depth_cycles, r.multi_phase.depth_cycles);
+  }
+  double t1_dffs = 0, nphi_dffs = 0, t1_area = 0, nphi_area = 0;
+  for (const TableRow& r : rows) {
+    t1_dffs += static_cast<double>(r.t1.num_dffs);
+    nphi_dffs += static_cast<double>(r.multi_phase.num_dffs);
+    t1_area += static_cast<double>(r.t1.area_jj);
+    nphi_area += static_cast<double>(r.multi_phase.area_jj);
+  }
+  s.total_dff_ratio_vs_nphi = ratio(t1_dffs, nphi_dffs);
+  s.total_area_ratio_vs_nphi = ratio(t1_area, nphi_area);
+  const double n = static_cast<double>(rows.size());
+  s.dff_ratio_vs_1phi /= n;
+  s.dff_ratio_vs_nphi /= n;
+  s.area_ratio_vs_1phi /= n;
+  s.area_ratio_vs_nphi /= n;
+  s.depth_ratio_vs_1phi /= n;
+  s.depth_ratio_vs_nphi /= n;
+  return s;
+}
+
+void print_table(std::ostream& os, const std::vector<TableRow>& rows, unsigned phases) {
+  const std::string nphi = std::to_string(phases) + "phi";
+  os << "Multiphase clocking with T1 cells (reproduction of Table I)\n";
+  os << std::left << std::setw(12) << "benchmark" << std::right    //
+     << std::setw(7) << "found" << std::setw(7) << "used"          //
+     << std::setw(9) << "DFF.1phi" << std::setw(9) << ("DFF." + nphi) << std::setw(9)
+     << "DFF.T1" << std::setw(7) << "/1phi" << std::setw(7) << ("/" + nphi)  //
+     << std::setw(10) << "A.1phi" << std::setw(10) << ("A." + nphi) << std::setw(10)
+     << "A.T1" << std::setw(7) << "/1phi" << std::setw(7) << ("/" + nphi)  //
+     << std::setw(8) << "D.1phi" << std::setw(8) << ("D." + nphi) << std::setw(7)
+     << "D.T1" << std::setw(7) << "/1phi" << std::setw(7) << ("/" + nphi) << "\n";
+  const auto r2 = [&](double v) {
+    os << std::setw(7) << std::fixed << std::setprecision(2) << v;
+  };
+  for (const TableRow& r : rows) {
+    os << std::left << std::setw(12) << r.name << std::right  //
+       << std::setw(7) << r.t1.t1_found << std::setw(7) << r.t1.t1_used
+       << std::setw(9) << r.single_phase.num_dffs << std::setw(9) << r.multi_phase.num_dffs
+       << std::setw(9) << r.t1.num_dffs;
+    r2(ratio(r.t1.num_dffs, r.single_phase.num_dffs));
+    r2(ratio(r.t1.num_dffs, r.multi_phase.num_dffs));
+    os << std::setw(10) << r.single_phase.area_jj << std::setw(10) << r.multi_phase.area_jj
+       << std::setw(10) << r.t1.area_jj;
+    r2(ratio(r.t1.area_jj, r.single_phase.area_jj));
+    r2(ratio(r.t1.area_jj, r.multi_phase.area_jj));
+    os << std::setw(8) << r.single_phase.depth_cycles << std::setw(8)
+       << r.multi_phase.depth_cycles << std::setw(7) << r.t1.depth_cycles;
+    r2(ratio(r.t1.depth_cycles, r.single_phase.depth_cycles));
+    r2(ratio(r.t1.depth_cycles, r.multi_phase.depth_cycles));
+    os << "\n";
+  }
+  const TableSummary s = summarize(rows);
+  os << std::left << std::setw(12) << "Average" << std::right << std::setw(7) << ""
+     << std::setw(7) << "" << std::setw(9) << "" << std::setw(9) << "" << std::setw(9)
+     << "";
+  r2(s.dff_ratio_vs_1phi);
+  r2(s.dff_ratio_vs_nphi);
+  os << std::setw(10) << "" << std::setw(10) << "" << std::setw(10) << "";
+  r2(s.area_ratio_vs_1phi);
+  r2(s.area_ratio_vs_nphi);
+  os << std::setw(8) << "" << std::setw(8) << "" << std::setw(7) << "";
+  r2(s.depth_ratio_vs_1phi);
+  r2(s.depth_ratio_vs_nphi);
+  os << "\n";
+}
+
+}  // namespace t1sfq

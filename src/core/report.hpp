@@ -1,0 +1,41 @@
+#pragma once
+/// \file report.hpp
+/// \brief Table-I style reporting: per-benchmark rows for 1φ / 4φ / T1 flows.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace t1sfq {
+
+/// One row of Table I: the three flows on one benchmark.
+struct TableRow {
+  std::string name;
+  FlowMetrics single_phase;  ///< 1φ, no T1
+  FlowMetrics multi_phase;   ///< nφ, no T1
+  FlowMetrics t1;            ///< nφ + T1 cells
+};
+
+struct TableSummary {
+  // Arithmetic means of the per-row ratios (the paper's "Average" row).
+  double dff_ratio_vs_1phi = 0.0;
+  double dff_ratio_vs_nphi = 0.0;
+  double area_ratio_vs_1phi = 0.0;
+  double area_ratio_vs_nphi = 0.0;
+  double depth_ratio_vs_1phi = 0.0;
+  double depth_ratio_vs_nphi = 0.0;
+  // Aggregate (sum-over-suite) ratios: robust against rows whose baseline is
+  // near zero (a tiny denominator makes the per-row ratio meaningless).
+  double total_dff_ratio_vs_nphi = 0.0;
+  double total_area_ratio_vs_nphi = 0.0;
+};
+
+TableSummary summarize(const std::vector<TableRow>& rows);
+
+/// Prints the full table in the paper's column layout (T1 found/used, #DFF,
+/// Area, Depth, each with ratios vs 1φ and nφ) plus the averages row.
+void print_table(std::ostream& os, const std::vector<TableRow>& rows, unsigned phases);
+
+}  // namespace t1sfq

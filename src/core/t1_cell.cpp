@@ -1,0 +1,32 @@
+#include "core/t1_cell.hpp"
+
+#include <algorithm>
+
+namespace t1sfq {
+
+std::optional<T1PortFn> classify_t1_function(const TruthTable& f) {
+  if (f.num_vars() != 3 || f.support_size() != 3) {
+    return std::nullopt;
+  }
+  if (f == tt3::xor3()) return T1PortFn::Sum;
+  if (f == tt3::maj3()) return T1PortFn::Carry;
+  if (f == tt3::or3()) return T1PortFn::Or;
+  if (f == tt3::minority3()) return T1PortFn::CarryN;
+  if (f == tt3::nor3()) return T1PortFn::OrN;
+  return std::nullopt;
+}
+
+unsigned t1_area(const CellLibrary& lib, const std::vector<T1PortFn>& ports) {
+  unsigned area = lib.jj_t1;
+  std::vector<T1PortFn> seen;
+  for (const T1PortFn p : ports) {
+    if (std::find(seen.begin(), seen.end(), p) != seen.end()) {
+      continue;  // one port serves all roots with the same function
+    }
+    seen.push_back(p);
+    area += lib.jj_cost(GateType::T1Port, p);
+  }
+  return area;
+}
+
+}  // namespace t1sfq

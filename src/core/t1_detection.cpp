@@ -1,0 +1,170 @@
+#include "core/t1_detection.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <unordered_map>
+
+#include "core/t1_cell.hpp"
+#include "network/cut_enumeration.hpp"
+#include "network/mffc.hpp"
+
+namespace t1sfq {
+
+namespace {
+
+struct Match {
+  NodeId root;
+  T1PortFn fn;
+  std::vector<NodeId> cone;  ///< MFFC(root) bounded by the group leaves
+  uint64_t cone_area = 0;
+};
+
+struct Candidate {
+  std::array<NodeId, 3> leaves;
+  std::vector<Match> matches;
+  std::vector<NodeId> cone_union;
+  int64_t gain = 0;
+};
+
+bool is_candidate_root(GateType type) {
+  switch (type) {
+    case GateType::Not:
+    case GateType::And2:
+    case GateType::Or2:
+    case GateType::Xor2:
+    case GateType::Nand2:
+    case GateType::Nor2:
+    case GateType::Xnor2:
+    case GateType::And3:
+    case GateType::Or3:
+    case GateType::Xor3:
+    case GateType::Maj3:
+      return true;
+    default:
+      return false;  // DFFs, T1 parts, PIs, constants never match (wrong support)
+  }
+}
+
+}  // namespace
+
+T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
+                                       const T1DetectionParams& params) {
+  T1DetectionStats stats;
+
+  CutEnumerationParams cp;
+  cp.cut_size = 3;
+  cp.max_cuts = params.max_cuts;
+  const auto cuts = enumerate_cuts(net, cp);
+  const auto fanouts = net.fanout_counts();
+
+  // -- Group matching cuts by their (sorted) leaf triple. ----------------------
+  std::map<std::array<NodeId, 3>, std::vector<Match>> groups;
+  for (const NodeId id : net.topo_order()) {
+    if (!is_candidate_root(net.node(id).type)) continue;
+    for (const Cut& cut : cuts[id].cuts()) {
+      if (cut.leaves.size() != 3) continue;
+      const auto fn = classify_t1_function(cut.function);
+      if (!fn) continue;
+      const std::array<NodeId, 3> key{cut.leaves[0], cut.leaves[1], cut.leaves[2]};
+      auto& bucket = groups[key];
+      if (std::none_of(bucket.begin(), bucket.end(),
+                       [&](const Match& m) { return m.root == id; })) {
+        bucket.push_back(Match{id, *fn, {}, 0});
+      }
+    }
+  }
+
+  // -- Price the candidates (paper eq. 2). -------------------------------------
+  std::vector<Candidate> candidates;
+  for (auto& [leaves, matches] : groups) {
+    if (matches.size() < params.min_cuts_per_group) continue;
+    Candidate cand;
+    cand.leaves = leaves;
+    const std::vector<NodeId> stop(leaves.begin(), leaves.end());
+    for (Match& m : matches) {
+      m.cone = mffc(net, m.root, fanouts, stop);
+      for (const NodeId n : m.cone) {
+        m.cone_area += lib.jj_cost(net.node(n).type, net.node(n).port);
+      }
+    }
+    // Paper: 2 <= n <= 5 cuts per T1; keep the largest cones when over-full.
+    std::sort(matches.begin(), matches.end(),
+              [](const Match& a, const Match& b) { return a.cone_area > b.cone_area; });
+    if (matches.size() > params.max_cuts_per_group) {
+      matches.resize(params.max_cuts_per_group);
+    }
+    cand.matches = matches;
+
+    // Union of the cones (roots may nest inside each other's MFFC).
+    uint64_t union_area = 0;
+    for (const Match& m : cand.matches) {
+      for (const NodeId n : m.cone) {
+        if (std::find(cand.cone_union.begin(), cand.cone_union.end(), n) ==
+            cand.cone_union.end()) {
+          cand.cone_union.push_back(n);
+          union_area += lib.jj_cost(net.node(n).type, net.node(n).port);
+        }
+      }
+    }
+    std::vector<T1PortFn> fns;
+    for (const Match& m : cand.matches) {
+      fns.push_back(m.fn);
+    }
+    cand.gain = static_cast<int64_t>(union_area) - static_cast<int64_t>(t1_area(lib, fns));
+    if (cand.gain > 0 || !params.require_positive_gain) {
+      ++stats.found;
+      candidates.push_back(std::move(cand));
+    }
+  }
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) { return a.gain > b.gain; });
+
+  // -- Commit greedily, skipping conflicts. -------------------------------------
+  //
+  // A consumed *leaf* is not necessarily fatal: when the leaf was itself a
+  // replaced root (e.g. the carry of the previous full adder in a ripple
+  // chain), its signal lives on at a T1 port and the new body can take the
+  // port as fanin. Only leaves that died as cone-internal nodes kill a
+  // candidate. `replacement` follows root -> port chains.
+  std::vector<uint8_t> consumed(net.size(), 0);
+  std::unordered_map<NodeId, NodeId> replacement;
+  const auto resolve_leaf = [&](NodeId leaf) {
+    auto it = replacement.find(leaf);
+    while (it != replacement.end()) {
+      leaf = it->second;
+      it = replacement.find(leaf);
+    }
+    return leaf;
+  };
+  for (const Candidate& cand : candidates) {
+    if (params.require_positive_gain && cand.gain <= 0) continue;
+    bool conflict = false;
+    for (const NodeId leaf : cand.leaves) {
+      conflict |= consumed[leaf] != 0 && replacement.count(leaf) == 0;
+    }
+    for (const NodeId n : cand.cone_union) {
+      conflict |= consumed[n] != 0;
+    }
+    if (conflict) continue;
+
+    const NodeId body = net.add_t1(resolve_leaf(cand.leaves[0]), resolve_leaf(cand.leaves[1]),
+                                   resolve_leaf(cand.leaves[2]));
+    for (const Match& m : cand.matches) {
+      const NodeId port = net.add_t1_port(body, m.fn);
+      net.substitute(m.root, port);
+      replacement[m.root] = port;
+    }
+    for (const NodeId n : cand.cone_union) {
+      consumed[n] = 1;
+    }
+    ++stats.used;
+    stats.estimated_gain += cand.gain;
+  }
+
+  net.sweep_dangling();
+  return stats;
+}
+
+}  // namespace t1sfq

@@ -1,0 +1,42 @@
+#pragma once
+/// \file t1_detection.hpp
+/// \brief Stage 1 of the flow: T1-FF detection and network rewrite (paper §II-A).
+///
+/// Cut enumeration (3-leaf priority cuts) followed by Boolean matching: every
+/// set of 2..5 cuts that share the same three leaves and compute
+/// T1-implementable functions is a candidate. The candidate's gain is
+///
+///     ΔA = Σ A(MFFC(u_i)) − A_T1(C)                (paper eq. 2)
+///
+/// i.e. the area of everything that disappears when the roots are rerouted to
+/// T1 ports, minus the cell (plus inverters for C*/Q*). Candidates with
+/// ΔA > 0 are committed greedily in descending-gain order; a candidate is
+/// skipped when a previous commitment consumed any of its roots, cone nodes
+/// or leaves ("found" vs "used" in Table I).
+
+#include <cstdint>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sfq/cell_library.hpp"
+
+namespace t1sfq {
+
+struct T1DetectionParams {
+  unsigned max_cuts = 16;           ///< priority cuts kept per node
+  bool require_positive_gain = true;  ///< commit only when ΔA > 0
+  unsigned min_cuts_per_group = 2;  ///< paper: 2 <= n <= 5
+  unsigned max_cuts_per_group = 5;
+};
+
+struct T1DetectionStats {
+  std::size_t found = 0;      ///< profitable candidate groups before conflicts
+  std::size_t used = 0;       ///< T1 cells actually instantiated
+  int64_t estimated_gain = 0; ///< Σ ΔA over the committed groups
+};
+
+/// Rewrites \p net in place (dangling cones are swept); returns statistics.
+T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
+                                       const T1DetectionParams& params = {});
+
+}  // namespace t1sfq

@@ -1,0 +1,146 @@
+#include "network/cut_enumeration.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace t1sfq {
+
+bool Cut::dominates(const Cut& other) const {
+  return std::includes(other.leaves.begin(), other.leaves.end(), leaves.begin(), leaves.end());
+}
+
+namespace {
+
+/// Union of sorted leaf vectors; empty result if the union exceeds max_size.
+std::vector<NodeId> merge_leaves(const std::vector<const std::vector<NodeId>*>& sets,
+                                 unsigned max_size) {
+  std::vector<NodeId> merged;
+  for (const auto* s : sets) {
+    std::vector<NodeId> next;
+    next.reserve(merged.size() + s->size());
+    std::set_union(merged.begin(), merged.end(), s->begin(), s->end(),
+                   std::back_inserter(next));
+    merged = std::move(next);
+    if (merged.size() > max_size) {
+      return {};
+    }
+  }
+  return merged;
+}
+
+/// Re-expresses \p f (a function of `cut.leaves`) over the merged leaf set.
+TruthTable expand_function(const TruthTable& f, const std::vector<NodeId>& cut_leaves,
+                           const std::vector<NodeId>& merged) {
+  const unsigned m = static_cast<unsigned>(merged.size());
+  std::vector<unsigned> pos(cut_leaves.size());
+  for (std::size_t j = 0; j < cut_leaves.size(); ++j) {
+    const auto it = std::lower_bound(merged.begin(), merged.end(), cut_leaves[j]);
+    assert(it != merged.end() && *it == cut_leaves[j]);
+    pos[j] = static_cast<unsigned>(it - merged.begin());
+  }
+  TruthTable r(m);
+  for (std::size_t i = 0; i < r.num_bits(); ++i) {
+    std::size_t src = 0;
+    for (std::size_t j = 0; j < pos.size(); ++j) {
+      if ((i >> pos[j]) & 1) {
+        src |= std::size_t{1} << j;
+      }
+    }
+    r.set_bit(i, f.get_bit(src));
+  }
+  return r;
+}
+
+Cut trivial_cut(NodeId id, bool compute_functions) {
+  Cut c;
+  c.leaves = {id};
+  if (compute_functions) {
+    c.function = TruthTable::nth_var(1, 0);
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<CutSet> enumerate_cuts(const Network& net, const CutEnumerationParams& params) {
+  std::vector<CutSet> result(net.size());
+
+  for (const NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    std::vector<Cut> cuts;
+    const bool barrier = n.type == GateType::Pi || n.type == GateType::Const0 ||
+                         n.type == GateType::Const1 || n.type == GateType::T1 ||
+                         n.type == GateType::T1Port;
+
+    if (!barrier) {
+      // Cross product of fanin cut sets.
+      const unsigned arity = n.num_fanins;
+      std::vector<const std::vector<Cut>*> fanin_cuts(arity);
+      for (unsigned i = 0; i < arity; ++i) {
+        fanin_cuts[i] = &result[n.fanin(i)].cuts();
+      }
+      std::vector<std::size_t> idx(arity, 0);
+      std::map<std::vector<NodeId>, TruthTable> unique;
+      bool done = arity == 0;
+      while (!done) {
+        std::vector<const std::vector<NodeId>*> leaf_sets(arity);
+        for (unsigned i = 0; i < arity; ++i) {
+          leaf_sets[i] = &(*fanin_cuts[i])[idx[i]].leaves;
+        }
+        auto merged = merge_leaves(leaf_sets, params.cut_size);
+        if (!merged.empty()) {
+          TruthTable f;
+          if (params.compute_functions) {
+            const unsigned m = static_cast<unsigned>(merged.size());
+            uint64_t a = 0, b = 0, c = 0;
+            TruthTable fa = expand_function((*fanin_cuts[0])[idx[0]].function,
+                                            (*fanin_cuts[0])[idx[0]].leaves, merged);
+            a = fa.word(0);
+            if (arity > 1) {
+              b = expand_function((*fanin_cuts[1])[idx[1]].function,
+                                  (*fanin_cuts[1])[idx[1]].leaves, merged)
+                      .word(0);
+            }
+            if (arity > 2) {
+              c = expand_function((*fanin_cuts[2])[idx[2]].function,
+                                  (*fanin_cuts[2])[idx[2]].leaves, merged)
+                      .word(0);
+            }
+            f = TruthTable(m);
+            f.set_word(0, Network::eval_word(n.type, n.port, a, b, c));
+          }
+          unique.emplace(std::move(merged), std::move(f));
+        }
+        // Advance the mixed-radix index.
+        unsigned d = 0;
+        for (; d < arity; ++d) {
+          if (++idx[d] < fanin_cuts[d]->size()) {
+            break;
+          }
+          idx[d] = 0;
+        }
+        done = d == arity;
+      }
+      for (auto& [leaves, f] : unique) {
+        Cut c;
+        c.leaves = leaves;
+        c.function = f;
+        cuts.push_back(std::move(c));
+      }
+      // Prefer small cuts; keep at most max_cuts non-trivial cuts.
+      std::stable_sort(cuts.begin(), cuts.end(), [](const Cut& a, const Cut& b) {
+        return a.leaves.size() < b.leaves.size();
+      });
+      if (cuts.size() > params.max_cuts) {
+        cuts.resize(params.max_cuts);
+      }
+    }
+
+    cuts.push_back(trivial_cut(id, params.compute_functions));
+    result[id] = CutSet(std::move(cuts));
+  }
+  return result;
+}
+
+}  // namespace t1sfq

@@ -1,0 +1,54 @@
+#pragma once
+/// \file cut_enumeration.hpp
+/// \brief Priority k-cut enumeration with truth-table computation (paper §II-A).
+///
+/// Classic bottom-up cut enumeration (Cong et al., FPGA'99 — reference [8] of
+/// the paper): the cut set of a node is the cross product of its fanins' cut
+/// sets, filtered to at most `cut_size` leaves, deduplicated, pruned to the
+/// `max_cuts` best cuts by size, and always including the trivial cut {node}.
+/// Each cut carries the truth table of the root as a function of the cut
+/// leaves (leaf i = variable i, leaves sorted ascending by NodeId), which is
+/// exactly what Boolean matching against the T1 function set consumes.
+
+#include <cstdint>
+#include <vector>
+
+#include "network/network.hpp"
+#include "network/truth_table.hpp"
+
+namespace t1sfq {
+
+struct Cut {
+  std::vector<NodeId> leaves;  ///< sorted ascending
+  TruthTable function;         ///< root function over leaves (var i = leaves[i])
+
+  bool is_trivial() const { return leaves.size() == 1; }
+  /// True if every leaf of \p other is also a leaf of *this.
+  bool dominates(const Cut& other) const;
+};
+
+struct CutEnumerationParams {
+  unsigned cut_size = 3;   ///< max leaves per cut (the T1 cell has 3 data inputs)
+  unsigned max_cuts = 16;  ///< priority cuts kept per node (trivial cut not counted)
+  bool compute_functions = true;
+};
+
+class CutSet {
+public:
+  CutSet() = default;
+  explicit CutSet(std::vector<Cut> cuts) : cuts_(std::move(cuts)) {}
+
+  const std::vector<Cut>& cuts() const { return cuts_; }
+  std::size_t size() const { return cuts_.size(); }
+  const Cut& operator[](std::size_t i) const { return cuts_[i]; }
+
+private:
+  std::vector<Cut> cuts_;
+};
+
+/// Enumerates cuts for every live node. Index = NodeId. T1 bodies and ports
+/// act as cut barriers (their cut set contains only the trivial cut): T1
+/// regions, once committed, are not re-decomposed.
+std::vector<CutSet> enumerate_cuts(const Network& net, const CutEnumerationParams& params = {});
+
+}  // namespace t1sfq

@@ -1,0 +1,212 @@
+#include "network/equivalence.hpp"
+
+#include <cassert>
+
+#include "network/simulation.hpp"
+
+namespace t1sfq {
+
+namespace {
+
+/// Adds clauses forcing `y <=> AND(a, b)` etc. for each cell type.
+void encode_gate(SatSolver& s, GateType type, T1PortFn port, Lit y, Lit a, Lit b, Lit c) {
+  const auto and2 = [&](Lit out, Lit x, Lit z) {
+    s.add_clause({negate(out), x});
+    s.add_clause({negate(out), z});
+    s.add_clause({out, negate(x), negate(z)});
+  };
+  const auto or2 = [&](Lit out, Lit x, Lit z) { and2(negate(out), negate(x), negate(z)); };
+  const auto xor2 = [&](Lit out, Lit x, Lit z) {
+    s.add_clause({negate(out), x, z});
+    s.add_clause({negate(out), negate(x), negate(z)});
+    s.add_clause({out, negate(x), z});
+    s.add_clause({out, x, negate(z)});
+  };
+  const auto equal = [&](Lit out, Lit x) {
+    s.add_clause({negate(out), x});
+    s.add_clause({out, negate(x)});
+  };
+  const auto and3 = [&](Lit out, Lit x, Lit z, Lit w) {
+    s.add_clause({negate(out), x});
+    s.add_clause({negate(out), z});
+    s.add_clause({negate(out), w});
+    s.add_clause({out, negate(x), negate(z), negate(w)});
+  };
+  const auto xor3 = [&](Lit out, Lit x, Lit z, Lit w) {
+    // out = x ^ z ^ w: 8 clauses over the odd-parity condition.
+    for (unsigned mask = 0; mask < 8; ++mask) {
+      const bool parity = ((mask & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1)) % 2;
+      // Forbid assignments where parity(x,z,w) != out.
+      s.add_clause({(mask & 1) ? negate(x) : x, (mask & 2) ? negate(z) : z,
+                    (mask & 4) ? negate(w) : w, parity ? out : negate(out)});
+    }
+  };
+  const auto maj3 = [&](Lit out, Lit x, Lit z, Lit w) {
+    s.add_clause({negate(out), x, z});
+    s.add_clause({negate(out), x, w});
+    s.add_clause({negate(out), z, w});
+    s.add_clause({out, negate(x), negate(z)});
+    s.add_clause({out, negate(x), negate(w)});
+    s.add_clause({out, negate(z), negate(w)});
+  };
+
+  switch (type) {
+    case GateType::Buf:
+    case GateType::Dff:
+      equal(y, a);
+      break;
+    case GateType::Not:
+      equal(y, negate(a));
+      break;
+    case GateType::And2:
+      and2(y, a, b);
+      break;
+    case GateType::Or2:
+      or2(y, a, b);
+      break;
+    case GateType::Xor2:
+      xor2(y, a, b);
+      break;
+    case GateType::Nand2:
+      and2(negate(y), a, b);
+      break;
+    case GateType::Nor2:
+      or2(negate(y), a, b);
+      break;
+    case GateType::Xnor2:
+      xor2(negate(y), a, b);
+      break;
+    case GateType::And3:
+      and3(y, a, b, c);
+      break;
+    case GateType::Or3:
+      and3(negate(y), negate(a), negate(b), negate(c));
+      break;
+    case GateType::Xor3:
+      xor3(y, a, b, c);
+      break;
+    case GateType::Maj3:
+      maj3(y, a, b, c);
+      break;
+    case GateType::T1:
+      xor3(y, a, b, c);  // body literal carries the S function
+      break;
+    case GateType::T1Port:
+      switch (port) {
+        case T1PortFn::Sum: xor3(y, a, b, c); break;
+        case T1PortFn::Carry: maj3(y, a, b, c); break;
+        case T1PortFn::Or: and3(negate(y), negate(a), negate(b), negate(c)); break;
+        case T1PortFn::CarryN: maj3(negate(y), a, b, c); break;
+        case T1PortFn::OrN: and3(y, negate(a), negate(b), negate(c)); break;
+      }
+      break;
+    default:
+      assert(false && "encode_gate: not a gate");
+  }
+}
+
+}  // namespace
+
+std::vector<Lit> encode_network(const Network& net, SatSolver& solver,
+                                std::vector<Lit>& pi_lits) {
+  if (pi_lits.empty()) {
+    for (std::size_t i = 0; i < net.num_pis(); ++i) {
+      pi_lits.push_back(pos_lit(solver.new_var()));
+    }
+  }
+  assert(pi_lits.size() == net.num_pis());
+
+  std::vector<Lit> lit(net.size(), 0);
+  for (std::size_t i = 0; i < net.num_pis(); ++i) {
+    lit[net.pi(i)] = pi_lits[i];
+  }
+  for (const NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    switch (n.type) {
+      case GateType::Pi:
+        break;  // already assigned
+      case GateType::Const0: {
+        const Lit l = pos_lit(solver.new_var());
+        solver.add_clause({negate(l)});
+        lit[id] = l;
+        break;
+      }
+      case GateType::Const1: {
+        const Lit l = pos_lit(solver.new_var());
+        solver.add_clause({l});
+        lit[id] = l;
+        break;
+      }
+      case GateType::T1Port: {
+        const Node& body = net.node(n.fanin(0));
+        const Lit y = pos_lit(solver.new_var());
+        encode_gate(solver, GateType::T1Port, n.port, y, lit[body.fanin(0)],
+                    lit[body.fanin(1)], lit[body.fanin(2)]);
+        lit[id] = y;
+        break;
+      }
+      default: {
+        const Lit y = pos_lit(solver.new_var());
+        const Lit a = n.num_fanins > 0 ? lit[n.fanin(0)] : 0;
+        const Lit b = n.num_fanins > 1 ? lit[n.fanin(1)] : 0;
+        const Lit c = n.num_fanins > 2 ? lit[n.fanin(2)] : 0;
+        encode_gate(solver, n.type, n.port, y, a, b, c);
+        lit[id] = y;
+      }
+    }
+  }
+  return lit;
+}
+
+EquivalenceCheck check_equivalence_sat(const Network& a, const Network& b,
+                                       uint64_t conflict_budget) {
+  EquivalenceCheck out;
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
+    out.result = EquivalenceResult::NotEquivalent;
+    return out;
+  }
+  SatSolver solver;
+  std::vector<Lit> pi_lits;
+  const auto la = encode_network(a, solver, pi_lits);
+  const auto lb = encode_network(b, solver, pi_lits);
+
+  for (std::size_t p = 0; p < a.num_pos(); ++p) {
+    // Miter for output p: XOR of the two output literals must be satisfiable
+    // for non-equivalence.
+    const Lit ya = la[a.po(p)];
+    const Lit yb = lb[b.po(p)];
+    const Lit diff = pos_lit(solver.new_var());
+    // diff <=> ya xor yb
+    solver.add_clause({negate(diff), ya, yb});
+    solver.add_clause({negate(diff), negate(ya), negate(yb)});
+    solver.add_clause({diff, negate(ya), yb});
+    solver.add_clause({diff, ya, negate(yb)});
+    const SatResult r = solver.solve({diff}, conflict_budget);
+    if (r == SatResult::Sat) {
+      out.result = EquivalenceResult::NotEquivalent;
+      out.failing_output = p;
+      for (const Lit pl : pi_lits) {
+        out.counterexample.push_back(solver.model_value(lit_var(pl)) ^ lit_sign(pl));
+      }
+      return out;
+    }
+    if (r == SatResult::Unknown) {
+      out.result = EquivalenceResult::Unknown;
+      return out;
+    }
+  }
+  out.result = EquivalenceResult::Equivalent;
+  return out;
+}
+
+EquivalenceCheck check_equivalence(const Network& a, const Network& b, unsigned sim_rounds,
+                                   uint64_t conflict_budget) {
+  EquivalenceCheck out;
+  if (!random_simulation_equal(a, b, sim_rounds)) {
+    out.result = EquivalenceResult::NotEquivalent;
+    return out;
+  }
+  return check_equivalence_sat(a, b, conflict_budget);
+}
+
+}  // namespace t1sfq

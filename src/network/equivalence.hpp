@@ -1,0 +1,44 @@
+#pragma once
+/// \file equivalence.hpp
+/// \brief Combinational equivalence checking (random simulation + SAT miter).
+///
+/// Every stage of the T1 flow must preserve the combinational function of the
+/// network (DFFs are timing-only, T1 ports compute XOR3/MAJ3/OR3). This module
+/// provides the two standard checks: fast word-parallel random simulation as a
+/// falsifier, and a complete SAT-based miter proof using the Tseitin encoding
+/// of both networks into the repository's CDCL solver.
+
+#include <optional>
+#include <vector>
+
+#include "network/network.hpp"
+#include "solver/sat.hpp"
+
+namespace t1sfq {
+
+/// Tseitin-encodes the network into \p solver. Returns per-node literals;
+/// PIs get fresh variables (shared via \p pi_lits if non-empty, so two
+/// networks can be encoded over the same inputs for a miter).
+std::vector<Lit> encode_network(const Network& net, SatSolver& solver,
+                                std::vector<Lit>& pi_lits);
+
+enum class EquivalenceResult { Equivalent, NotEquivalent, Unknown };
+
+struct EquivalenceCheck {
+  EquivalenceResult result = EquivalenceResult::Unknown;
+  /// When NotEquivalent: a PI assignment on which the networks differ.
+  std::vector<bool> counterexample;
+  std::size_t failing_output = 0;
+};
+
+/// Complete check: builds a miter per output pair and solves.
+/// \p conflict_budget caps SAT effort per output (0 = unlimited).
+EquivalenceCheck check_equivalence_sat(const Network& a, const Network& b,
+                                       uint64_t conflict_budget = 0);
+
+/// Two-tier convenience: random simulation first (fast falsification), then a
+/// SAT proof. Returns Equivalent only when SAT proved it.
+EquivalenceCheck check_equivalence(const Network& a, const Network& b,
+                                   unsigned sim_rounds = 8, uint64_t conflict_budget = 0);
+
+}  // namespace t1sfq

@@ -1,0 +1,33 @@
+#pragma once
+/// \file io.hpp
+/// \brief BLIF reader/writer and structural Verilog writer.
+///
+/// BLIF is the interchange format of the academic synthesis ecosystem the
+/// paper builds on (ABC / mockturtle). The writer emits one `.names` or
+/// `.gate`-style record per cell; T1 cells are exported as `.subckt t1`
+/// instances so netlists survive a round trip. The reader accepts the subset
+/// this library writes plus plain `.names` cubes with single-output covers.
+
+#include <iosfwd>
+#include <string>
+
+#include "network/network.hpp"
+
+namespace t1sfq {
+
+/// Writes the network in BLIF. T1 bodies become `.subckt t1 a=.. b=.. c=..
+/// s=.. ...` records (only the connected ports are listed).
+void write_blif(const Network& net, std::ostream& os);
+void write_blif_file(const Network& net, const std::string& path);
+
+/// Reads a BLIF model. Supports `.model/.inputs/.outputs/.names/.subckt t1/
+/// .end`, cube covers with don't-cares (`-`), and multi-cube ORs.
+Network read_blif(std::istream& is);
+Network read_blif_file(const std::string& path);
+
+/// Writes a flat structural Verilog module (assign-style for logic cells,
+/// module instances for T1 cells and DFFs).
+void write_verilog(const Network& net, std::ostream& os);
+void write_verilog_file(const Network& net, const std::string& path);
+
+}  // namespace t1sfq

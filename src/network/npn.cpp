@@ -1,0 +1,81 @@
+#include "network/npn.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace t1sfq {
+
+namespace {
+
+TruthTable apply_transform(const TruthTable& f, const std::vector<unsigned>& perm,
+                           const std::vector<bool>& input_neg, bool output_neg) {
+  TruthTable g = f;
+  for (unsigned v = 0; v < f.num_vars(); ++v) {
+    if (input_neg[v]) {
+      g = g.flip_var(v);
+    }
+  }
+  g = g.permute(perm);
+  if (output_neg) {
+    g = ~g;
+  }
+  return g;
+}
+
+}  // namespace
+
+NpnCanonical npn_canonize(const TruthTable& f) {
+  const unsigned n = f.num_vars();
+  if (n > 5) {
+    throw std::invalid_argument("npn_canonize: supports up to 5 variables");
+  }
+  std::vector<unsigned> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+
+  NpnCanonical best;
+  bool first = true;
+  do {
+    for (unsigned negmask = 0; negmask < (1u << n); ++negmask) {
+      std::vector<bool> input_neg(n);
+      for (unsigned v = 0; v < n; ++v) {
+        input_neg[v] = (negmask >> v) & 1;
+      }
+      for (int out = 0; out < 2; ++out) {
+        const TruthTable cand = apply_transform(f, perm, input_neg, out != 0);
+        if (first || cand < best.representative) {
+          first = false;
+          best.representative = cand;
+          best.transform = NpnTransform{perm, input_neg, out != 0};
+        }
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+bool npn_equivalent(const TruthTable& a, const TruthTable& b) {
+  if (a.num_vars() != b.num_vars()) {
+    return false;
+  }
+  return npn_canonize(a).representative == npn_canonize(b).representative;
+}
+
+TruthTable p_canonize(const TruthTable& f) {
+  const unsigned n = f.num_vars();
+  if (n > 5) {
+    throw std::invalid_argument("p_canonize: supports up to 5 variables");
+  }
+  std::vector<unsigned> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  TruthTable best = f;
+  do {
+    const TruthTable cand = f.permute(perm);
+    if (cand < best) {
+      best = cand;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace t1sfq

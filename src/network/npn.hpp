@@ -1,0 +1,39 @@
+#pragma once
+/// \file npn.hpp
+/// \brief NPN canonization for small functions (Boolean matching, paper ref. [9]).
+///
+/// Two functions are NPN-equivalent when one can be obtained from the other by
+/// Negating inputs, Permuting inputs and/or Negating the output. Matching a
+/// cut function against a cell library reduces to comparing NPN canonical
+/// forms. The T1 function set is totally symmetric, so its matching only needs
+/// the N/negation part — the general canonizer here is used by the matching
+/// library, tests, and to verify that symmetry claim.
+
+#include <cstdint>
+#include <vector>
+
+#include "network/truth_table.hpp"
+
+namespace t1sfq {
+
+struct NpnTransform {
+  std::vector<unsigned> perm;     ///< result var i  = input var perm[i]
+  std::vector<bool> input_neg;    ///< input i complemented (before permuting)
+  bool output_neg = false;
+};
+
+struct NpnCanonical {
+  TruthTable representative;  ///< lexicographically smallest NPN class member
+  NpnTransform transform;     ///< transform applied to the input to reach it
+};
+
+/// Exhaustive exact NPN canonization; intended for functions of <= 5 inputs.
+NpnCanonical npn_canonize(const TruthTable& f);
+
+/// True iff \p a and \p b are NPN-equivalent.
+bool npn_equivalent(const TruthTable& a, const TruthTable& b);
+
+/// P-canonization only (permutations, no negations).
+TruthTable p_canonize(const TruthTable& f);
+
+}  // namespace t1sfq

@@ -1,0 +1,287 @@
+#include "network/technology_mapping.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <limits>
+#include <map>
+
+namespace t1sfq {
+
+namespace {
+
+constexpr uint64_t kInfCost = std::numeric_limits<uint64_t>::max() / 4;
+
+/// One way to realize a small function: a library cell plus polarity fixers.
+struct Recipe {
+  GateType cell = GateType::And2;
+  uint8_t arity = 0;
+  uint8_t input_neg_mask = 0;  ///< bit i: invert input i
+  bool output_neg = false;
+  uint64_t cost = kInfCost;    ///< cell + inverters, in JJ
+};
+
+/// Recipe tables keyed by the truth table bits, one per support size (1..3).
+struct RecipeTable {
+  std::array<Recipe, 4> unary;        // 2^2 functions of 1 var (index = tt bits)
+  std::array<Recipe, 16> binary;      // functions of 2 vars
+  std::array<Recipe, 256> ternary;    // functions of 3 vars
+
+  const Recipe* lookup(const TruthTable& f) const {
+    switch (f.num_vars()) {
+      case 1: return unary[f.word(0) & 0x3].cost < kInfCost ? &unary[f.word(0) & 0x3] : nullptr;
+      case 2: return binary[f.word(0) & 0xf].cost < kInfCost ? &binary[f.word(0) & 0xf] : nullptr;
+      case 3:
+        return ternary[f.word(0) & 0xff].cost < kInfCost ? &ternary[f.word(0) & 0xff]
+                                                         : nullptr;
+      default: return nullptr;
+    }
+  }
+};
+
+RecipeTable build_recipes(const CellLibrary& lib) {
+  RecipeTable table;
+  const auto consider = [&](GateType cell, unsigned arity) {
+    // Base function of the cell on `arity` vars.
+    TruthTable base(arity);
+    {
+      uint64_t a = arity > 0 ? TruthTable::nth_var(arity, 0).word(0) : 0;
+      uint64_t b = arity > 1 ? TruthTable::nth_var(arity, 1).word(0) : 0;
+      uint64_t c = arity > 2 ? TruthTable::nth_var(arity, 2).word(0) : 0;
+      base.set_word(0, Network::eval_word(cell, T1PortFn::Sum, a, b, c));
+    }
+    for (unsigned mask = 0; mask < (1u << arity); ++mask) {
+      TruthTable f = base;
+      for (unsigned v = 0; v < arity; ++v) {
+        if ((mask >> v) & 1) {
+          f = f.flip_var(v);
+        }
+      }
+      for (int out = 0; out < 2; ++out) {
+        const TruthTable g = out ? ~f : f;
+        const unsigned inverters =
+            static_cast<unsigned>(__builtin_popcount(mask)) + (out ? 1u : 0u);
+        const uint64_t cost = lib.jj_cost(cell) + uint64_t{inverters} * lib.jj_not;
+        Recipe r{cell, static_cast<uint8_t>(arity), static_cast<uint8_t>(mask), out != 0,
+                 cost};
+        Recipe* slot = nullptr;
+        if (arity == 1) {
+          slot = &table.unary[g.word(0) & 0x3];
+        } else if (arity == 2) {
+          slot = &table.binary[g.word(0) & 0xf];
+        } else {
+          slot = &table.ternary[g.word(0) & 0xff];
+        }
+        // Skip degenerate realizations (function must use all cell inputs,
+        // otherwise a smaller cell covers it more cheaply anyway).
+        if (g.support_size() != arity) {
+          continue;
+        }
+        if (cost < slot->cost) {
+          *slot = r;
+        }
+      }
+    }
+  };
+  consider(GateType::Not, 1);
+  consider(GateType::And2, 2);
+  consider(GateType::Or2, 2);
+  consider(GateType::Xor2, 2);
+  consider(GateType::Nand2, 2);
+  consider(GateType::Nor2, 2);
+  consider(GateType::Xnor2, 2);
+  consider(GateType::And3, 3);
+  consider(GateType::Or3, 3);
+  consider(GateType::Xor3, 3);
+  consider(GateType::Maj3, 3);
+  return table;
+}
+
+/// A cut over AIG nodes with its root function.
+struct AigCut {
+  std::vector<uint32_t> leaves;  // sorted
+  TruthTable function;           // over leaves, var i = leaves[i]
+};
+
+std::vector<std::vector<AigCut>> enumerate_aig_cuts(const Aig& aig,
+                                                    const TechMappingParams& params) {
+  std::vector<std::vector<AigCut>> cuts(aig.num_nodes());
+  for (uint32_t node = 0; node < aig.num_nodes(); ++node) {
+    std::vector<AigCut>& out = cuts[node];
+    if (aig.is_const(node) || aig.is_pi(node)) {
+      AigCut trivial;
+      trivial.leaves = {node};
+      trivial.function = TruthTable::nth_var(1, 0);
+      out.push_back(std::move(trivial));
+      continue;
+    }
+    const Aig::Lit f0 = aig.fanin0(node);
+    const Aig::Lit f1 = aig.fanin1(node);
+    std::map<std::vector<uint32_t>, TruthTable> unique;
+    for (const AigCut& c0 : cuts[Aig::lit_node(f0)]) {
+      for (const AigCut& c1 : cuts[Aig::lit_node(f1)]) {
+        std::vector<uint32_t> merged;
+        std::set_union(c0.leaves.begin(), c0.leaves.end(), c1.leaves.begin(),
+                       c1.leaves.end(), std::back_inserter(merged));
+        if (merged.size() > params.cut_size) {
+          continue;
+        }
+        const unsigned m = static_cast<unsigned>(merged.size());
+        // Expand both fanin functions onto the merged leaves.
+        const auto expand = [&](const AigCut& c) {
+          TruthTable r(m);
+          std::vector<unsigned> pos(c.leaves.size());
+          for (std::size_t j = 0; j < c.leaves.size(); ++j) {
+            pos[j] = static_cast<unsigned>(
+                std::lower_bound(merged.begin(), merged.end(), c.leaves[j]) -
+                merged.begin());
+          }
+          for (std::size_t i = 0; i < r.num_bits(); ++i) {
+            std::size_t src = 0;
+            for (std::size_t j = 0; j < pos.size(); ++j) {
+              if ((i >> pos[j]) & 1) {
+                src |= std::size_t{1} << j;
+              }
+            }
+            r.set_bit(i, c.function.get_bit(src));
+          }
+          return r;
+        };
+        TruthTable t0 = expand(c0);
+        TruthTable t1 = expand(c1);
+        if (Aig::lit_compl(f0)) t0 = ~t0;
+        if (Aig::lit_compl(f1)) t1 = ~t1;
+        unique.emplace(std::move(merged), t0 & t1);
+      }
+    }
+    for (auto& [leaves, f] : unique) {
+      out.push_back(AigCut{leaves, f});
+    }
+    std::stable_sort(out.begin(), out.end(), [](const AigCut& a, const AigCut& b) {
+      return a.leaves.size() < b.leaves.size();
+    });
+    if (out.size() > params.max_cuts) {
+      out.resize(params.max_cuts);
+    }
+    AigCut trivial;
+    trivial.leaves = {node};
+    trivial.function = TruthTable::nth_var(1, 0);
+    out.push_back(std::move(trivial));
+  }
+  return cuts;
+}
+
+}  // namespace
+
+Network map_to_sfq(const Aig& aig, const TechMappingParams& params,
+                   TechMappingStats* stats) {
+  const RecipeTable recipes = build_recipes(params.lib);
+  const auto cuts = enumerate_aig_cuts(aig, params);
+
+  // Polarity-aware DP: cost of realizing each node in positive (phase 0) and
+  // complemented (phase 1) form. A recipe's input negations are priced as the
+  // leaf's complemented phase — sharing a NAND beats inserting an inverter —
+  // and complemented roots pick complement cells (NAND/NOR/XNOR, MAJ with all
+  // inputs flipped, ...) instead of paying a NOT.
+  struct Choice {
+    const Recipe* recipe = nullptr;
+    std::vector<uint32_t> used_leaves;  // support leaves, in var order
+    uint64_t cost = kInfCost;
+  };
+  std::vector<std::array<Choice, 2>> choice(aig.num_nodes());
+  std::vector<std::array<uint64_t, 2>> cost(aig.num_nodes(), {kInfCost, kInfCost});
+
+  for (uint32_t node = 0; node < aig.num_nodes(); ++node) {
+    if (aig.is_const(node)) {
+      cost[node] = {0, 0};
+      continue;
+    }
+    if (aig.is_pi(node)) {
+      cost[node] = {0, params.lib.jj_not};  // complemented PI = one inverter
+      continue;
+    }
+    for (int phase = 0; phase < 2; ++phase) {
+      Choice best;
+      for (const AigCut& cut : cuts[node]) {
+        if (cut.leaves.size() == 1 && cut.leaves[0] == node) {
+          continue;  // trivial self-cut cannot implement the node
+        }
+        TruthTable f = phase ? ~cut.function : cut.function;
+        std::vector<uint32_t> used;
+        for (unsigned v = 0; v < f.num_vars(); ++v) {
+          if (f.has_var(v)) {
+            used.push_back(cut.leaves[v]);
+          }
+        }
+        const TruthTable g = f.shrink_to_support();
+        if (g.num_vars() == 0) {
+          continue;  // constant: handled by AIG folding upstream
+        }
+        const Recipe* r = recipes.lookup(g);
+        if (!r) {
+          continue;
+        }
+        uint64_t total = params.lib.jj_cost(r->cell) +
+                         (r->output_neg ? uint64_t{params.lib.jj_not} : 0);
+        for (std::size_t i = 0; i < used.size(); ++i) {
+          total += cost[used[i]][(r->input_neg_mask >> i) & 1];
+        }
+        if (total < best.cost) {
+          best.recipe = r;
+          best.used_leaves = used;
+          best.cost = total;
+        }
+      }
+      assert(best.recipe && "the 2-cut over the fanins is always mappable");
+      choice[node][phase] = std::move(best);
+      cost[node][phase] = choice[node][phase].cost;
+    }
+  }
+
+  // Materialize the cover.
+  Network net(aig.name());
+  std::vector<std::array<NodeId, 2>> mapped(aig.num_nodes(), {kNullNode, kNullNode});
+  for (std::size_t i = 0; i < aig.num_pis(); ++i) {
+    mapped[aig.pis()[i]][0] = net.add_pi("x" + std::to_string(i));
+  }
+
+  const std::function<NodeId(uint32_t, int)> build = [&](uint32_t node,
+                                                         int phase) -> NodeId {
+    NodeId& slot = mapped[node][phase];
+    if (slot != kNullNode) {
+      return slot;
+    }
+    if (aig.is_const(node)) {
+      return slot = phase ? net.get_const1() : net.get_const0();
+    }
+    if (aig.is_pi(node)) {
+      assert(phase == 1);
+      return slot = net.add_not(mapped[node][0]);
+    }
+    const Choice& ch = choice[node][phase];
+    std::vector<NodeId> ins;
+    for (std::size_t i = 0; i < ch.used_leaves.size(); ++i) {
+      ins.push_back(build(ch.used_leaves[i], (ch.recipe->input_neg_mask >> i) & 1));
+    }
+    NodeId out = net.add_gate(ch.recipe->cell, ins);
+    if (ch.recipe->output_neg) {
+      out = net.add_not(out);
+    }
+    return slot = out;
+  };
+
+  for (std::size_t p = 0; p < aig.num_pos(); ++p) {
+    const Aig::Lit po = aig.pos()[p];
+    net.add_po(build(Aig::lit_node(po), Aig::lit_compl(po) ? 1 : 0),
+               "y" + std::to_string(p));
+  }
+
+  if (stats) {
+    stats->cells = net.num_gates() - net.count_of(GateType::Not);
+    stats->inverters = net.count_of(GateType::Not);
+    stats->area_jj = raw_gate_area(net, params.lib);
+  }
+  return net;
+}
+
+}  // namespace t1sfq

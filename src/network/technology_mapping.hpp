@@ -1,0 +1,44 @@
+#pragma once
+/// \file technology_mapping.hpp
+/// \brief Cut-based technology mapping: AIG -> SFQ standard-cell network.
+///
+/// The front half of the synthesis pipeline the paper assumes (mockturtle's
+/// mapper in the authors' flow): cover an And-Inverter Graph with cells from
+/// the RSFQ library so the T1-aware flow can take over. Classic cut-based
+/// Boolean matching:
+///
+///   1. enumerate priority k-cuts with truth tables per AIG node;
+///   2. match each cut function against a precomputed recipe table — every
+///      library cell with every input/output polarity (all SFQ cells in the
+///      library are input-symmetric, so permutations are free);
+///   3. dynamic-programming cover minimizing JJ area (tree heuristic);
+///   4. materialize the chosen cells, sharing inverters through the network's
+///      structural hashing.
+///
+/// Every AIG node always has its trivial 2-cut (an AND with polarities), so
+/// the cover is total even for functions no single cell implements.
+
+#include "network/aig.hpp"
+#include "network/network.hpp"
+#include "sfq/cell_library.hpp"
+
+namespace t1sfq {
+
+struct TechMappingParams {
+  unsigned cut_size = 3;
+  unsigned max_cuts = 12;
+  CellLibrary lib{};
+};
+
+struct TechMappingStats {
+  std::size_t cells = 0;
+  std::size_t inverters = 0;  ///< polarity-fixing NOT cells
+  uint64_t area_jj = 0;       ///< raw gate area of the mapped network
+};
+
+/// Maps the AIG onto the SFQ cell network. PI order is preserved; PO
+/// polarities are realized with NOT cells where needed.
+Network map_to_sfq(const Aig& aig, const TechMappingParams& params = {},
+                   TechMappingStats* stats = nullptr);
+
+}  // namespace t1sfq

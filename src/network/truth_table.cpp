@@ -1,0 +1,368 @@
+#include "network/truth_table.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace t1sfq {
+
+namespace {
+
+constexpr uint64_t kAll = ~uint64_t{0};
+
+/// Masks selecting the bits where variable v (< 6) is 1, within one word.
+constexpr uint64_t kVarMask[6] = {
+    0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+    0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL,
+};
+
+std::size_t words_for(unsigned num_vars) {
+  return num_vars <= 6 ? 1 : (std::size_t{1} << (num_vars - 6));
+}
+
+}  // namespace
+
+TruthTable::TruthTable(unsigned num_vars) : num_vars_(num_vars) {
+  if (num_vars > kMaxVars) {
+    throw std::invalid_argument("TruthTable: too many variables");
+  }
+  words_.assign(words_for(num_vars), 0);
+}
+
+void TruthTable::mask_excess_() {
+  if (num_vars_ < 6) {
+    words_[0] &= (uint64_t{1} << num_bits()) - 1;
+  }
+}
+
+bool TruthTable::get_bit(std::size_t index) const {
+  assert(index < num_bits());
+  return (words_[index >> 6] >> (index & 63)) & 1;
+}
+
+void TruthTable::set_bit(std::size_t index, bool value) {
+  assert(index < num_bits());
+  const uint64_t mask = uint64_t{1} << (index & 63);
+  if (value) {
+    words_[index >> 6] |= mask;
+  } else {
+    words_[index >> 6] &= ~mask;
+  }
+}
+
+void TruthTable::set_word(std::size_t i, uint64_t w) {
+  words_[i] = w;
+  if (i + 1 == words_.size()) {
+    mask_excess_();
+  }
+}
+
+TruthTable TruthTable::nth_var(unsigned num_vars, unsigned var) {
+  assert(var < num_vars);
+  TruthTable tt(num_vars);
+  if (var < 6) {
+    for (auto& w : tt.words_) {
+      w = kVarMask[var];
+    }
+  } else {
+    // Variable >= 6: whole words alternate in blocks of 2^(var-6).
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < tt.words_.size(); ++i) {
+      if ((i / block) & 1) {
+        tt.words_[i] = kAll;
+      }
+    }
+  }
+  tt.mask_excess_();
+  return tt;
+}
+
+TruthTable TruthTable::constant(unsigned num_vars, bool value) {
+  TruthTable tt(num_vars);
+  if (value) {
+    std::fill(tt.words_.begin(), tt.words_.end(), kAll);
+    tt.mask_excess_();
+  }
+  return tt;
+}
+
+TruthTable TruthTable::from_binary(const std::string& bits) {
+  const std::size_t n = bits.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("TruthTable::from_binary: length must be a power of two");
+  }
+  unsigned num_vars = 0;
+  while ((std::size_t{1} << num_vars) < n) {
+    ++num_vars;
+  }
+  TruthTable tt(num_vars);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = bits[n - 1 - i];  // last character is minterm 0
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("TruthTable::from_binary: invalid character");
+    }
+    tt.set_bit(i, c == '1');
+  }
+  return tt;
+}
+
+TruthTable TruthTable::from_hex(unsigned num_vars, const std::string& hex) {
+  TruthTable tt(num_vars);
+  const std::size_t nibbles = std::max<std::size_t>(1, tt.num_bits() / 4);
+  if (hex.size() != nibbles) {
+    throw std::invalid_argument("TruthTable::from_hex: wrong length");
+  }
+  for (std::size_t i = 0; i < nibbles; ++i) {
+    const char c = hex[nibbles - 1 - i];
+    unsigned v = 0;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v = static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("TruthTable::from_hex: invalid character");
+    }
+    for (unsigned b = 0; b < 4; ++b) {
+      const std::size_t bit = 4 * i + b;
+      if (bit < tt.num_bits()) {
+        tt.set_bit(bit, (v >> b) & 1);
+      }
+    }
+  }
+  return tt;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable r(*this);
+  for (auto& w : r.words_) {
+    w = ~w;
+  }
+  r.mask_excess_();
+  return r;
+}
+
+#define T1SFQ_TT_BINOP(OP)                                       \
+  TruthTable TruthTable::operator OP(const TruthTable& o) const { \
+    assert(num_vars_ == o.num_vars_);                             \
+    TruthTable r(*this);                                          \
+    for (std::size_t i = 0; i < words_.size(); ++i) {             \
+      r.words_[i] = words_[i] OP o.words_[i];                     \
+    }                                                             \
+    return r;                                                     \
+  }
+
+T1SFQ_TT_BINOP(&)
+T1SFQ_TT_BINOP(|)
+T1SFQ_TT_BINOP(^)
+#undef T1SFQ_TT_BINOP
+
+TruthTable& TruthTable::operator&=(const TruthTable& o) { return *this = *this & o; }
+TruthTable& TruthTable::operator|=(const TruthTable& o) { return *this = *this | o; }
+TruthTable& TruthTable::operator^=(const TruthTable& o) { return *this = *this ^ o; }
+
+bool TruthTable::operator==(const TruthTable& o) const {
+  return num_vars_ == o.num_vars_ && words_ == o.words_;
+}
+
+bool TruthTable::operator<(const TruthTable& o) const {
+  if (num_vars_ != o.num_vars_) {
+    return num_vars_ < o.num_vars_;
+  }
+  return std::lexicographical_compare(words_.rbegin(), words_.rend(),
+                                      o.words_.rbegin(), o.words_.rend());
+}
+
+TruthTable TruthTable::ite(const TruthTable& i, const TruthTable& t, const TruthTable& e) {
+  return (i & t) | (~i & e);
+}
+
+TruthTable TruthTable::maj(const TruthTable& a, const TruthTable& b, const TruthTable& c) {
+  return (a & b) | (a & c) | (b & c);
+}
+
+bool TruthTable::is_const0() const {
+  return std::all_of(words_.begin(), words_.end(), [](uint64_t w) { return w == 0; });
+}
+
+bool TruthTable::is_const1() const {
+  return *this == constant(num_vars_, true);
+}
+
+std::size_t TruthTable::count_ones() const {
+  std::size_t n = 0;
+  for (uint64_t w : words_) {
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+bool TruthTable::has_var(unsigned var) const {
+  return cofactor(var, false) != cofactor(var, true);
+}
+
+unsigned TruthTable::support_size() const {
+  unsigned n = 0;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (has_var(v)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool TruthTable::is_totally_symmetric() const {
+  // Symmetric <=> invariant under adjacent transpositions.
+  for (unsigned v = 0; v + 1 < num_vars_; ++v) {
+    if (swap_vars(v, v + 1) != *this) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TruthTable TruthTable::cofactor(unsigned var, bool polarity) const {
+  assert(var < num_vars_);
+  TruthTable r(*this);
+  if (var < 6) {
+    const uint64_t mask = kVarMask[var];
+    const unsigned shift = 1u << var;
+    for (auto& w : r.words_) {
+      if (polarity) {
+        w = (w & mask) | ((w & mask) >> shift);
+      } else {
+        w = (w & ~mask) | ((w & ~mask) << shift);
+      }
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (var - 6);
+    for (std::size_t i = 0; i < r.words_.size(); ++i) {
+      const std::size_t base = (i / (2 * block)) * 2 * block + (i % block);
+      r.words_[i] = words_[base + (polarity ? block : 0)];
+    }
+  }
+  r.mask_excess_();
+  return r;
+}
+
+TruthTable TruthTable::swap_vars(unsigned a, unsigned b) const {
+  if (a == b) {
+    return *this;
+  }
+  // Decompose on both variables and reassemble with cofactors exchanged.
+  const TruthTable f00 = cofactor(a, false).cofactor(b, false);
+  const TruthTable f01 = cofactor(a, false).cofactor(b, true);
+  const TruthTable f10 = cofactor(a, true).cofactor(b, false);
+  const TruthTable f11 = cofactor(a, true).cofactor(b, true);
+  const TruthTable va = nth_var(num_vars_, a);
+  const TruthTable vb = nth_var(num_vars_, b);
+  return (~va & ~vb & f00) | (~va & vb & f10) | (va & ~vb & f01) | (va & vb & f11);
+}
+
+TruthTable TruthTable::flip_var(unsigned var) const {
+  const TruthTable v = nth_var(num_vars_, var);
+  return ite(v, cofactor(var, false), cofactor(var, true));
+}
+
+TruthTable TruthTable::extend_to(unsigned num_vars) const {
+  assert(num_vars >= num_vars_);
+  if (num_vars == num_vars_) {
+    return *this;
+  }
+  TruthTable r(num_vars);
+  const std::size_t small_bits = num_bits();
+  for (std::size_t i = 0; i < r.num_bits(); ++i) {
+    r.set_bit(i, get_bit(i % small_bits));
+  }
+  return r;
+}
+
+TruthTable TruthTable::shrink_to_support() const {
+  std::vector<unsigned> support;
+  for (unsigned v = 0; v < num_vars_; ++v) {
+    if (has_var(v)) {
+      support.push_back(v);
+    }
+  }
+  TruthTable r(static_cast<unsigned>(support.size()));
+  for (std::size_t i = 0; i < r.num_bits(); ++i) {
+    // Build the corresponding minterm of the original function; the values of
+    // non-support variables do not matter, use zero.
+    std::size_t src = 0;
+    for (std::size_t k = 0; k < support.size(); ++k) {
+      if ((i >> k) & 1) {
+        src |= std::size_t{1} << support[k];
+      }
+    }
+    r.set_bit(i, get_bit(src));
+  }
+  return r;
+}
+
+TruthTable TruthTable::permute(const std::vector<unsigned>& perm) const {
+  assert(perm.size() == num_vars_);
+  TruthTable r(num_vars_);
+  for (std::size_t i = 0; i < num_bits(); ++i) {
+    std::size_t src = 0;
+    for (unsigned v = 0; v < num_vars_; ++v) {
+      if ((i >> v) & 1) {
+        src |= std::size_t{1} << perm[v];
+      }
+    }
+    r.set_bit(i, get_bit(src));
+  }
+  return r;
+}
+
+std::string TruthTable::to_hex() const {
+  const std::size_t nibbles = std::max<std::size_t>(1, num_bits() / 4);
+  std::string s(nibbles, '0');
+  for (std::size_t i = 0; i < nibbles; ++i) {
+    unsigned v = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      const std::size_t bit = 4 * i + b;
+      if (bit < num_bits() && get_bit(bit)) {
+        v |= 1u << b;
+      }
+    }
+    s[nibbles - 1 - i] = "0123456789abcdef"[v];
+  }
+  return s;
+}
+
+std::string TruthTable::to_binary() const {
+  std::string s(num_bits(), '0');
+  for (std::size_t i = 0; i < num_bits(); ++i) {
+    if (get_bit(i)) {
+      s[num_bits() - 1 - i] = '1';
+    }
+  }
+  return s;
+}
+
+std::size_t TruthTable::hash() const {
+  std::size_t h = 14695981039346656037ULL;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(num_vars_);
+  for (uint64_t w : words_) {
+    mix(w);
+  }
+  return h;
+}
+
+namespace tt3 {
+TruthTable xor3() { return TruthTable::from_hex(3, "96"); }
+TruthTable xnor3() { return TruthTable::from_hex(3, "69"); }
+TruthTable maj3() { return TruthTable::from_hex(3, "e8"); }
+TruthTable minority3() { return TruthTable::from_hex(3, "17"); }
+TruthTable or3() { return TruthTable::from_hex(3, "fe"); }
+TruthTable nor3() { return TruthTable::from_hex(3, "01"); }
+TruthTable and3() { return TruthTable::from_hex(3, "80"); }
+}  // namespace tt3
+
+}  // namespace t1sfq

@@ -1,0 +1,143 @@
+#pragma once
+/// \file truth_table.hpp
+/// \brief Dynamic truth tables for small Boolean functions (up to 16 variables).
+///
+/// Truth tables are the workhorse of cut-based Boolean matching (paper §II-A):
+/// the function of every enumerated cut is computed bottom-up as a truth table
+/// over the cut leaves and then matched against the T1-implementable set
+/// (XOR3 / MAJ3 / OR3 and their output negations).
+///
+/// The representation packs 2^n function bits into 64-bit words, in the usual
+/// convention: bit i of the table is the function value on the input minterm
+/// whose binary encoding is i (variable 0 is the least significant).
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace t1sfq {
+
+/// A Boolean function on `num_vars()` variables stored as a bit vector.
+///
+/// Invariants: the table always holds exactly `max(1, 2^n / 64)` words and all
+/// bits above 2^n in the last word are zero (maintained by `mask_excess_()`).
+class TruthTable {
+public:
+  /// Constructs the constant-zero function on \p num_vars variables.
+  explicit TruthTable(unsigned num_vars = 0);
+
+  /// Maximum supported variable count (2^16 bits = 1024 words).
+  static constexpr unsigned kMaxVars = 16;
+
+  unsigned num_vars() const { return num_vars_; }
+  std::size_t num_bits() const { return std::size_t{1} << num_vars_; }
+  std::size_t num_words() const { return words_.size(); }
+
+  /// Value of the function on minterm \p index.
+  bool get_bit(std::size_t index) const;
+  void set_bit(std::size_t index, bool value);
+
+  /// Raw word access (word i covers minterms [64i, 64i+64)).
+  uint64_t word(std::size_t i) const { return words_[i]; }
+  void set_word(std::size_t i, uint64_t w);
+
+  // -- Named constructors ----------------------------------------------------
+
+  /// Projection function x_var on \p num_vars variables.
+  static TruthTable nth_var(unsigned num_vars, unsigned var);
+  /// Constant 0 / constant 1.
+  static TruthTable constant(unsigned num_vars, bool value);
+  /// Parses a binary string, most significant minterm first
+  /// (e.g. "1000" is AND2). The length must be a power of two.
+  static TruthTable from_binary(const std::string& bits);
+  /// Parses a hexadecimal string, most significant nibble first
+  /// (e.g. "e8" on 3 vars is MAJ3). Length must be max(1, 2^n/4).
+  static TruthTable from_hex(unsigned num_vars, const std::string& hex);
+
+  // -- Boolean operations (operands must have equal variable counts) ---------
+
+  TruthTable operator~() const;
+  TruthTable operator&(const TruthTable& other) const;
+  TruthTable operator|(const TruthTable& other) const;
+  TruthTable operator^(const TruthTable& other) const;
+  TruthTable& operator&=(const TruthTable& other);
+  TruthTable& operator|=(const TruthTable& other);
+  TruthTable& operator^=(const TruthTable& other);
+
+  bool operator==(const TruthTable& other) const;
+  bool operator!=(const TruthTable& other) const { return !(*this == other); }
+  /// Total order (by variable count, then lexicographic on words);
+  /// used to keep canonical forms in ordered containers.
+  bool operator<(const TruthTable& other) const;
+
+  /// Ternary if-then-else: i ? t : e, all on the same variable count.
+  static TruthTable ite(const TruthTable& i, const TruthTable& t, const TruthTable& e);
+  /// Ternary majority.
+  static TruthTable maj(const TruthTable& a, const TruthTable& b, const TruthTable& c);
+
+  // -- Structural queries -----------------------------------------------------
+
+  bool is_const0() const;
+  bool is_const1() const;
+  std::size_t count_ones() const;
+  /// True if the function actually depends on variable \p var.
+  bool has_var(unsigned var) const;
+  /// Number of variables in the functional support.
+  unsigned support_size() const;
+  /// True if the function is invariant under every permutation of its
+  /// variables (XOR3, MAJ3, OR3 are; this makes T1 matching permutation-free).
+  bool is_totally_symmetric() const;
+
+  // -- Variable manipulation ---------------------------------------------------
+
+  /// Positive/negative cofactor with respect to \p var.
+  TruthTable cofactor(unsigned var, bool polarity) const;
+  /// Swaps two variables.
+  TruthTable swap_vars(unsigned a, unsigned b) const;
+  /// Flips (complements) one input variable.
+  TruthTable flip_var(unsigned var) const;
+  /// Reinterprets the function on a larger variable count (new variables are
+  /// don't-cares the function ignores).
+  TruthTable extend_to(unsigned num_vars) const;
+  /// Drops variables outside the support, keeping relative order.
+  /// Returns the shrunk table; the function must not depend on dropped vars.
+  TruthTable shrink_to_support() const;
+  /// Applies a permutation: variable i of the result is variable perm[i]
+  /// of *this.
+  TruthTable permute(const std::vector<unsigned>& perm) const;
+
+  // -- Output ------------------------------------------------------------------
+
+  /// Hexadecimal string, most significant nibble first.
+  std::string to_hex() const;
+  /// Binary string, most significant minterm first.
+  std::string to_binary() const;
+
+  /// FNV-1a hash of the words (for unordered containers).
+  std::size_t hash() const;
+
+private:
+  void mask_excess_();
+
+  unsigned num_vars_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Hash functor for `std::unordered_map<TruthTable, ...>`.
+struct TruthTableHash {
+  std::size_t operator()(const TruthTable& tt) const { return tt.hash(); }
+};
+
+/// Common 3-variable functions used throughout the T1 flow.
+namespace tt3 {
+TruthTable xor3();   ///< 0x96
+TruthTable xnor3();  ///< 0x69
+TruthTable maj3();   ///< 0xe8
+TruthTable minority3();  ///< 0x17 (complement of MAJ3)
+TruthTable or3();    ///< 0xfe
+TruthTable nor3();   ///< 0x01
+TruthTable and3();   ///< 0x80
+}  // namespace tt3
+
+}  // namespace t1sfq

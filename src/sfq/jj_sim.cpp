@@ -1,0 +1,290 @@
+#include "sfq/jj_sim.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace t1sfq {
+namespace jj {
+
+int Circuit::add_node() { return num_nodes_++; }
+
+namespace {
+void check_node(int n, int limit, const char* what) {
+  if (n < 0 || n >= limit) {
+    throw std::invalid_argument(std::string(what) + ": unknown node");
+  }
+}
+}  // namespace
+
+void Circuit::add_resistor(int a, int b, double ohms) {
+  check_node(a, num_nodes_, "add_resistor");
+  check_node(b, num_nodes_, "add_resistor");
+  if (ohms <= 0) {
+    throw std::invalid_argument("add_resistor: nonpositive resistance");
+  }
+  resistors_.push_back({a, b, 1.0 / ohms});
+}
+
+void Circuit::add_capacitor(int a, int b, double farads) {
+  check_node(a, num_nodes_, "add_capacitor");
+  check_node(b, num_nodes_, "add_capacitor");
+  capacitors_.push_back({a, b, farads});
+}
+
+int Circuit::add_inductor(int a, int b, double henries) {
+  check_node(a, num_nodes_, "add_inductor");
+  check_node(b, num_nodes_, "add_inductor");
+  if (henries <= 0) {
+    throw std::invalid_argument("add_inductor: nonpositive inductance");
+  }
+  inductors_.push_back({a, b, henries});
+  return static_cast<int>(inductors_.size()) - 1;
+}
+
+int Circuit::add_jj(int a, int b, const JjParams& params) {
+  check_node(a, num_nodes_, "add_jj");
+  check_node(b, num_nodes_, "add_jj");
+  junctions_.push_back({a, b, params});
+  return static_cast<int>(junctions_.size()) - 1;
+}
+
+void Circuit::add_current_source(int a, int b, Waveform i) {
+  check_node(a, num_nodes_, "add_current_source");
+  check_node(b, num_nodes_, "add_current_source");
+  sources_.push_back({a, b, std::move(i)});
+}
+
+void Circuit::add_dc_bias(int node, double amps) {
+  add_current_source(node, 0, [amps](double) { return amps; });
+}
+
+void Circuit::add_pulse(int node, double t0, double amplitude, double width) {
+  add_current_source(node, 0, [=](double t) {
+    const double x = (t - t0) / width;
+    return amplitude * std::exp(-x * x);
+  });
+}
+
+namespace {
+
+/// Dense linear solver (partial-pivot LU), adequate for cell-scale MNA.
+bool solve_dense(std::vector<double>& a, std::vector<double>& rhs, int n) {
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-30) {
+      return false;
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(a[col * n + c], a[pivot * n + c]);
+      }
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] * inv;
+      if (f == 0.0) continue;
+      for (int c = col; c < n; ++c) {
+        a[r * n + c] -= f * a[col * n + c];
+      }
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  for (int r = n - 1; r >= 0; --r) {
+    double s = rhs[r];
+    for (int c = r + 1; c < n; ++c) {
+      s -= a[r * n + c] * rhs[c];
+    }
+    rhs[r] = s / a[r * n + r];
+  }
+  return true;
+}
+
+}  // namespace
+
+TransientResult simulate(const Circuit& ckt, const TransientParams& params) {
+  const int nn = ckt.num_nodes();          // node 0 = ground
+  const int nl = static_cast<int>(ckt.inductors().size());
+  const int nv = (nn - 1) + nl;            // unknowns: node voltages + inductor currents
+  const double dt = params.dt;
+  const double kphase = kPi * dt / kPhi0;  // φ_n = φ_prev + kphase·(v_n + v_prev)
+
+  TransientResult res;
+  res.node_voltage.assign(nn, {});
+  res.jj_phase.assign(ckt.junctions().size(), {});
+  res.jj_pulses.assign(ckt.junctions().size(), {});
+
+  // State (previous time step).
+  std::vector<double> v(nn, 0.0);                          // node voltages
+  std::vector<double> il(nl, 0.0);                         // inductor currents
+  std::vector<double> il_new(nl, 0.0);                     // current iterate
+  std::vector<double> vl(nl, 0.0);                         // inductor voltages
+  std::vector<double> phi(ckt.junctions().size(), 0.0);    // JJ phases
+  std::vector<double> icap(ckt.capacitors().size(), 0.0);  // capacitor currents
+  std::vector<double> ijc(ckt.junctions().size(), 0.0);    // JJ displacement currents
+
+  const auto vidx = [&](int node) { return node - 1; };  // ground eliminated
+  const auto stamp_g = [&](std::vector<double>& m, int a, int b, double g) {
+    if (a > 0) m[vidx(a) * nv + vidx(a)] += g;
+    if (b > 0) m[vidx(b) * nv + vidx(b)] += g;
+    if (a > 0 && b > 0) {
+      m[vidx(a) * nv + vidx(b)] -= g;
+      m[vidx(b) * nv + vidx(a)] -= g;
+    }
+  };
+  const auto stamp_i = [&](std::vector<double>& rhs, int a, int b, double i) {
+    // Current i flows into node a, out of node b.
+    if (a > 0) rhs[vidx(a)] += i;
+    if (b > 0) rhs[vidx(b)] -= i;
+  };
+
+  std::vector<double> vnew = v;
+  const std::size_t steps = static_cast<std::size_t>(params.t_end / dt);
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double t = (step + 1) * dt;
+
+    // Newton iterations on the trapezoidal companion network.
+    std::vector<double> phi_new = phi;
+    for (unsigned it = 0; it < params.max_newton; ++it) {
+      std::vector<double> m(static_cast<std::size_t>(nv) * nv, 0.0);
+      std::vector<double> rhs(nv, 0.0);
+
+      for (const auto& r : ckt.resistors()) {
+        stamp_g(m, r.a, r.b, r.g);
+      }
+      for (std::size_t ci = 0; ci < ckt.capacitors().size(); ++ci) {
+        const auto& c = ckt.capacitors()[ci];
+        const double g = 2.0 * c.c / dt;
+        const double vprev = v[c.a] - v[c.b];
+        stamp_g(m, c.a, c.b, g);
+        stamp_i(rhs, c.a, c.b, g * vprev + icap[ci]);  // companion source
+      }
+      for (int li = 0; li < nl; ++li) {
+        const auto& l = ckt.inductors()[li];
+        // Branch current unknown: row enforces v_a - v_b - (2L/dt)·i = -(2L/dt)·i_prev - v_prev.
+        const int row = (nn - 1) + li;
+        const double rl = 2.0 * l.l / dt;
+        if (l.a > 0) {
+          m[row * nv + vidx(l.a)] += 1.0;
+          m[vidx(l.a) * nv + row] += 1.0;  // KCL: current leaves node a
+        }
+        if (l.b > 0) {
+          m[row * nv + vidx(l.b)] -= 1.0;
+          m[vidx(l.b) * nv + row] -= 1.0;
+        }
+        m[row * nv + row] -= rl;
+        rhs[row] = -rl * il[li] - vl[li];
+      }
+      for (std::size_t ji = 0; ji < ckt.junctions().size(); ++ji) {
+        const auto& j = ckt.junctions()[ji];
+        const double vj = vnew[j.a] - vnew[j.b];
+        const double vjprev = v[j.a] - v[j.b];
+        const double ph = phi[ji] + kphase * (vj + vjprev);
+        phi_new[ji] = ph;
+        // Supercurrent linearization around vj: I = Ic sin(ph) with
+        // dI/dv = Ic cos(ph) · kphase.
+        const double gs = j.p.ic * std::cos(ph) * kphase;
+        const double is = j.p.ic * std::sin(ph) - gs * vj;
+        stamp_g(m, j.a, j.b, gs + 1.0 / j.p.r);
+        stamp_i(rhs, j.a, j.b, -is);
+        // Junction capacitance companion.
+        const double gc = 2.0 * j.p.c / dt;
+        stamp_g(m, j.a, j.b, gc);
+        stamp_i(rhs, j.a, j.b, gc * vjprev + ijc[ji]);
+      }
+      for (const auto& s : ckt.sources()) {
+        stamp_i(rhs, s.a, s.b, s.i(t));
+      }
+
+      if (!solve_dense(m, rhs, nv)) {
+        res.converged = false;
+        return res;
+      }
+      double delta = 0.0;
+      for (int node = 1; node < nn; ++node) {
+        delta = std::max(delta, std::fabs(rhs[vidx(node)] - vnew[node]));
+        vnew[node] = rhs[vidx(node)];
+      }
+      for (int li = 0; li < nl; ++li) {
+        il_new[li] = rhs[(nn - 1) + li];
+      }
+      if (delta < params.newton_tol) {
+        break;
+      }
+      if (it + 1 == params.max_newton) {
+        res.converged = false;
+      }
+    }
+
+    // Commit the step: update companion states.
+    for (std::size_t ci = 0; ci < ckt.capacitors().size(); ++ci) {
+      const auto& c = ckt.capacitors()[ci];
+      const double g = 2.0 * c.c / dt;
+      const double vprev = v[c.a] - v[c.b];
+      const double vcur = vnew[c.a] - vnew[c.b];
+      icap[ci] = g * (vcur - vprev) - icap[ci];
+    }
+    for (std::size_t ji = 0; ji < ckt.junctions().size(); ++ji) {
+      const auto& j = ckt.junctions()[ji];
+      const double g = 2.0 * j.p.c / dt;
+      const double vprev = v[j.a] - v[j.b];
+      const double vcur = vnew[j.a] - vnew[j.b];
+      ijc[ji] = g * (vcur - vprev) - ijc[ji];
+      // Detect 2π slips: crossings of (2k+1)π.
+      const double before = phi[ji];
+      const double after = phi_new[ji];
+      const auto bucket = [](double p) {
+        return static_cast<long long>(std::floor((p + kPi) / (2.0 * kPi)));
+      };
+      for (long long k = bucket(before); k < bucket(after); ++k) {
+        res.jj_pulses[ji].push_back(t);
+      }
+      phi[ji] = phi_new[ji];
+    }
+    for (int li = 0; li < nl; ++li) {
+      const auto& l = ckt.inductors()[li];
+      vl[li] = vnew[l.a] - vnew[l.b];
+      il[li] = il_new[li];
+    }
+    v = vnew;
+
+    if (step % params.record_every == 0) {
+      res.time.push_back(t);
+      for (int node = 0; node < nn; ++node) {
+        res.node_voltage[node].push_back(v[node]);
+      }
+      for (std::size_t ji = 0; ji < ckt.junctions().size(); ++ji) {
+        res.jj_phase[ji].push_back(phi[ji]);
+      }
+    }
+  }
+  return res;
+}
+
+Jtl make_jtl(unsigned stages, const JjParams& params, double bias_fraction,
+             double coupling_l) {
+  if (stages == 0) {
+    throw std::invalid_argument("make_jtl: need at least one stage");
+  }
+  Jtl jtl;
+  Circuit& c = jtl.circuit;
+  jtl.input_node = c.add_node();
+  int prev = jtl.input_node;
+  for (unsigned s = 0; s < stages; ++s) {
+    const int node = c.add_node();
+    c.add_inductor(prev, node, coupling_l);
+    jtl.stage_junctions.push_back(c.add_jj(node, 0, params));
+    c.add_dc_bias(node, bias_fraction * params.ic);
+    prev = node;
+  }
+  return jtl;
+}
+
+}  // namespace jj
+}  // namespace t1sfq

@@ -1,0 +1,119 @@
+#pragma once
+/// \file jj_sim.hpp
+/// \brief Transient circuit simulation with Josephson junctions (RCSJ model).
+///
+/// The physics substrate behind Fig. 1a/1b of the paper: RSFQ cells are
+/// interferometers of Josephson junctions (JJs) and superconducting storage
+/// loops exchanging single-flux-quantum pulses whose time-integral of voltage
+/// is exactly one flux quantum Φ0 = h/2e ≈ 2.068 mV·ps.
+///
+/// Modified nodal analysis with trapezoidal integration; the JJ follows the
+/// resistively-and-capacitively-shunted-junction (RCSJ) model
+///
+///     i = Ic·sin φ + V/R + C·dV/dt,      dφ/dt = 2π·V / Φ0,
+///
+/// linearized per Newton iteration. A 2π slip of φ is one SFQ pulse; the
+/// simulator records slip times per junction, which is what the JTL /
+/// storage-loop tests and the `fig1a_jj_physics` bench assert against.
+///
+/// Scope: cell-level circuits (tens of nodes) — dense LU is used on purpose.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace t1sfq {
+namespace jj {
+
+/// Physical constants (SI).
+constexpr double kPhi0 = 2.067833848e-15;  ///< magnetic flux quantum, Wb
+constexpr double kPi = 3.141592653589793;
+
+struct JjParams {
+  double ic = 0.1e-3;   ///< critical current, A
+  double r = 5.0;       ///< shunt resistance, Ω (externally shunted, overdamped)
+  double c = 0.15e-12;  ///< junction capacitance, F
+};
+
+using Waveform = std::function<double(double)>;  ///< current source i(t), A
+
+/// Netlist builder. Node 0 is ground.
+class Circuit {
+public:
+  /// Adds a circuit node; returns its index (ground = 0 pre-exists).
+  int add_node();
+  int num_nodes() const { return num_nodes_; }
+
+  void add_resistor(int a, int b, double ohms);
+  void add_capacitor(int a, int b, double farads);
+  /// Inductors add a branch-current unknown; returns the inductor index.
+  int add_inductor(int a, int b, double henries);
+  /// Junction between a and b (current Ic·sinφ flows a→b for φ>0);
+  /// returns the junction index.
+  int add_jj(int a, int b, const JjParams& params);
+  /// Current injected into node a (out of node b), i(t).
+  void add_current_source(int a, int b, Waveform i);
+  /// DC bias convenience.
+  void add_dc_bias(int node, double amps);
+  /// Gaussian SFQ-like input pulse: total charge ~ area; centered at t0.
+  void add_pulse(int node, double t0, double amplitude, double width);
+
+  // Internal element tables (read by the simulator).
+  struct Resistor { int a, b; double g; };
+  struct Capacitor { int a, b; double c; };
+  struct Inductor { int a, b; double l; };
+  struct Junction { int a, b; JjParams p; };
+  struct Source { int a, b; Waveform i; };
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Inductor>& inductors() const { return inductors_; }
+  const std::vector<Junction>& junctions() const { return junctions_; }
+  const std::vector<Source>& sources() const { return sources_; }
+
+private:
+  int num_nodes_ = 1;  // ground
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Inductor> inductors_;
+  std::vector<Junction> junctions_;
+  std::vector<Source> sources_;
+};
+
+struct TransientParams {
+  double t_end = 100e-12;  ///< s
+  double dt = 0.05e-12;    ///< s
+  unsigned max_newton = 50;
+  double newton_tol = 1e-9;  ///< V
+  unsigned record_every = 1;  ///< thin the stored waveforms
+};
+
+struct TransientResult {
+  std::vector<double> time;
+  /// node_voltage[n] is the waveform of node n (ground included, all zero).
+  std::vector<std::vector<double>> node_voltage;
+  /// jj_phase[j] is the superconducting phase of junction j.
+  std::vector<std::vector<double>> jj_phase;
+  /// Times at which junction j completed a 2π phase slip (= emitted an SFQ
+  /// pulse), detected as crossings of (2k+1)·π.
+  std::vector<std::vector<double>> jj_pulses;
+  bool converged = true;
+
+  std::size_t pulse_count(std::size_t j) const { return jj_pulses[j].size(); }
+};
+
+TransientResult simulate(const Circuit& circuit, const TransientParams& params = {});
+
+/// Builds a Josephson transmission line: `stages` biased junctions coupled by
+/// inductors; input pulses injected at the head propagate junction to
+/// junction. Returns the input node, per-stage junction indices via out
+/// parameter. Used by tests and the physics bench.
+struct Jtl {
+  Circuit circuit;
+  int input_node = 0;
+  std::vector<int> stage_junctions;
+};
+Jtl make_jtl(unsigned stages, const JjParams& params = {}, double bias_fraction = 0.7,
+             double coupling_l = 5e-12);
+
+}  // namespace jj
+}  // namespace t1sfq

@@ -1,0 +1,188 @@
+#include "sfq/pulse_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <random>
+#include <sstream>
+
+#include "network/simulation.hpp"
+
+namespace t1sfq {
+
+T1StateMachine::TResponse T1StateMachine::on_t() {
+  TResponse r;
+  if (!state_) {
+    r.q_pulse = true;  // JQ switches, bias current redirected (state -> 1)
+    state_ = true;
+  } else {
+    r.c_pulse = true;  // JC switches, loop resets (state -> 0)
+    state_ = false;
+  }
+  return r;
+}
+
+bool T1StateMachine::on_r() {
+  if (state_) {
+    state_ = false;  // JS switches: pulse at S
+    return true;
+  }
+  return false;  // JR rejects the pulse
+}
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::NonPositiveGap: return "non-positive stage gap";
+    case ViolationKind::GapExceedsWindow: return "gap exceeds clock window";
+    case ViolationKind::T1InputCollision: return "T1 input pulse collision";
+    case ViolationKind::T1InputOutsideCycle: return "T1 input outside clock cycle";
+  }
+  return "?";
+}
+
+std::string TimingViolation::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << ": node " << node << " (stage " << consumer << ") <- node "
+     << fanin << " (stage " << producer << ")";
+  return os.str();
+}
+
+PulseSimResult pulse_simulate(const Network& net, const std::vector<Stage>& stage,
+                              const MultiphaseConfig& clk,
+                              const std::vector<bool>& pi_values) {
+  PulseSimResult result;
+  const Stage n = static_cast<Stage>(clk.phases);
+
+  std::vector<uint8_t> value(net.size(), 0);
+  std::vector<Stage> release(net.size(), 0);  // stage at which the pulse leaves
+
+  for (std::size_t i = 0; i < net.num_pis(); ++i) {
+    value[net.pi(i)] = pi_values[i] ? 1 : 0;
+  }
+  for (const NodeId id : net.topo_order()) {
+    const Node& node = net.node(id);
+    switch (node.type) {
+      case GateType::Pi:
+        release[id] = stage[id];
+        break;
+      case GateType::Const0:
+        value[id] = 0;
+        release[id] = stage[id];
+        break;
+      case GateType::Const1:
+        value[id] = 1;
+        release[id] = stage[id];
+        break;
+      case GateType::Buf:
+        value[id] = value[node.fanin(0)];
+        release[id] = release[node.fanin(0)];  // JTL: passive, no re-timing
+        break;
+      case GateType::T1Port: {
+        const Node& body = net.node(node.fanin(0));
+        unsigned pulses = 0;
+        for (unsigned i = 0; i < 3; ++i) {
+          pulses += value[body.fanin(i)];
+        }
+        bool v = false;
+        switch (node.port) {
+          case T1PortFn::Sum: v = pulses & 1; break;
+          case T1PortFn::Carry: v = pulses >= 2; break;
+          case T1PortFn::Or: v = pulses >= 1; break;
+          case T1PortFn::CarryN: v = pulses < 2; break;
+          case T1PortFn::OrN: v = pulses == 0; break;
+        }
+        value[id] = v ? 1 : 0;
+        release[id] = release[node.fanin(0)];
+        break;
+      }
+      case GateType::T1: {
+        const Stage sigma = stage[id];
+        // Gather (arrival stage, pulse present) for the three data inputs.
+        std::array<std::pair<Stage, bool>, 3> arrivals;
+        for (unsigned i = 0; i < 3; ++i) {
+          const NodeId f = node.fanin(i);
+          arrivals[i] = {release[f], value[f] != 0};
+          // Strictly inside the T1 clock cycle: sigma - n < arrival < sigma.
+          if (release[f] >= sigma || sigma - release[f] >= n) {
+            result.violations.push_back({ViolationKind::T1InputOutsideCycle, id, f,
+                                         release[f], sigma});
+          }
+        }
+        for (unsigned i = 0; i < 3; ++i) {
+          for (unsigned j = i + 1; j < 3; ++j) {
+            if (arrivals[i].first == arrivals[j].first) {
+              result.violations.push_back({ViolationKind::T1InputCollision, id,
+                                           node.fanin(j), arrivals[j].first, sigma});
+            }
+          }
+        }
+        // Drive the state machine in arrival order, then clock R.
+        std::sort(arrivals.begin(), arrivals.end());
+        T1StateMachine fsm;
+        for (const auto& [t, pulse] : arrivals) {
+          if (pulse) {
+            fsm.on_t();
+          }
+        }
+        value[id] = fsm.on_r() ? 1 : 0;  // body value doubles as the S function
+        release[id] = sigma;
+        break;
+      }
+      default: {
+        // Ordinary clocked cell (logic gate or DFF).
+        const Stage sigma = stage[id];
+        for (uint8_t i = 0; i < node.num_fanins; ++i) {
+          const NodeId f = node.fanin(i);
+          const GateType ft = net.node(f).type;
+          if (ft == GateType::Const0 || ft == GateType::Const1) {
+            continue;  // constants carry no pulse to park or collide with
+          }
+          if (release[f] >= sigma) {
+            result.violations.push_back(
+                {ViolationKind::NonPositiveGap, id, f, release[f], sigma});
+          } else if (sigma - release[f] > n) {
+            result.violations.push_back(
+                {ViolationKind::GapExceedsWindow, id, f, release[f], sigma});
+          }
+        }
+        const uint64_t a = node.num_fanins > 0 ? value[node.fanin(0)] : 0;
+        const uint64_t b = node.num_fanins > 1 ? value[node.fanin(1)] : 0;
+        const uint64_t c = node.num_fanins > 2 ? value[node.fanin(2)] : 0;
+        value[id] = Network::eval_word(node.type, node.port, a, b, c) & 1;
+        release[id] = sigma;
+      }
+    }
+  }
+
+  for (const NodeId po : net.pos()) {
+    result.po_values.push_back(value[po] != 0);
+  }
+  return result;
+}
+
+bool pulse_verify(const Network& net, const std::vector<Stage>& stage,
+                  const MultiphaseConfig& clk, const Network& golden, unsigned rounds,
+                  uint64_t seed) {
+  if (net.num_pis() != golden.num_pis() || net.num_pos() != golden.num_pos()) {
+    return false;
+  }
+  std::mt19937_64 rng(seed);
+  for (unsigned r = 0; r < rounds; ++r) {
+    for (unsigned k = 0; k < 64; ++k) {
+      std::vector<bool> pis(net.num_pis());
+      for (std::size_t i = 0; i < pis.size(); ++i) {
+        pis[i] = rng() & 1;
+      }
+      const auto pulse = pulse_simulate(net, stage, clk, pis);
+      if (!pulse.ok()) {
+        return false;
+      }
+      const auto expect = simulate(golden, pis);
+      if (std::vector<bool>(pulse.po_values.begin(), pulse.po_values.end()) != expect) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace t1sfq

@@ -1,0 +1,52 @@
+#include "solver/diff_constraints.hpp"
+
+#include <algorithm>
+
+namespace t1sfq {
+
+std::optional<std::vector<int64_t>> DifferenceSystem::solve_asap() const {
+  // Longest path relaxation from implicit source (x_i >= 0 for all i).
+  std::vector<int64_t> x(num_vars_, 0);
+  for (int pass = 0; pass <= num_vars_; ++pass) {
+    bool changed = false;
+    for (const auto& c : constraints_) {
+      if (x[c.i] + c.w > x[c.j]) {
+        x[c.j] = x[c.i] + c.w;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      return x;
+    }
+  }
+  return std::nullopt;  // still relaxing after |V| passes: positive cycle
+}
+
+std::optional<std::vector<int64_t>> DifferenceSystem::solve_alap(int64_t deadline) const {
+  // x_j - x_i >= w  <=>  (D - x_i) - (D - x_j) >= w: ASAP on the reversed
+  // system computes the slack from the deadline.
+  DifferenceSystem rev(num_vars_);
+  for (const auto& c : constraints_) {
+    rev.add(c.j, c.i, c.w);
+  }
+  const auto slack = rev.solve_asap();
+  if (!slack) {
+    return std::nullopt;
+  }
+  std::vector<int64_t> x(num_vars_);
+  for (int i = 0; i < num_vars_; ++i) {
+    x[i] = deadline - (*slack)[i];
+    if (x[i] < 0) {
+      return std::nullopt;  // deadline too tight for nonnegative stages
+    }
+  }
+  return x;
+}
+
+bool DifferenceSystem::satisfied_by(const std::vector<int64_t>& x) const {
+  return std::all_of(constraints_.begin(), constraints_.end(), [&](const auto& c) {
+    return x[c.j] - x[c.i] >= c.w;
+  });
+}
+
+}  // namespace t1sfq

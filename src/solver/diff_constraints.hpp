@@ -1,0 +1,48 @@
+#pragma once
+/// \file diff_constraints.hpp
+/// \brief Systems of difference constraints x_j - x_i >= w (longest path).
+///
+/// The feasibility skeleton of the phase-assignment problem is a difference
+/// constraint system: every fanin edge demands `σ(j) − σ(i) ≥ w` (w = 1 for
+/// ordinary gates, w ∈ {1,2,3} for T1 fanins per paper eq. 3). The minimal
+/// solution (ASAP schedule) is the longest-path vector from a virtual source,
+/// computed by Bellman–Ford over the constraint graph; a positive cycle means
+/// infeasibility. ALAP is obtained on the reversed system against a deadline.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace t1sfq {
+
+struct DifferenceConstraint {
+  int i;      ///< constraint x_j - x_i >= w
+  int j;
+  int64_t w;
+};
+
+class DifferenceSystem {
+public:
+  explicit DifferenceSystem(int num_vars) : num_vars_(num_vars) {}
+
+  int num_vars() const { return num_vars_; }
+  void add(int i, int j, int64_t w) { constraints_.push_back({i, j, w}); }
+  const std::vector<DifferenceConstraint>& constraints() const { return constraints_; }
+
+  /// Minimal nonnegative solution (every x_i as small as possible, x >= 0),
+  /// or nullopt if the system has a positive cycle.
+  std::optional<std::vector<int64_t>> solve_asap() const;
+
+  /// Maximal solution with every x_i <= deadline (as large as possible),
+  /// or nullopt if infeasible.
+  std::optional<std::vector<int64_t>> solve_alap(int64_t deadline) const;
+
+  /// Checks a candidate assignment.
+  bool satisfied_by(const std::vector<int64_t>& x) const;
+
+private:
+  int num_vars_;
+  std::vector<DifferenceConstraint> constraints_;
+};
+
+}  // namespace t1sfq

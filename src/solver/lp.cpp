@@ -1,0 +1,282 @@
+#include "solver/lp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace t1sfq {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kFeasEps = 1e-7;
+}  // namespace
+
+int LinearProgram::add_variable(double lb, double ub, double objective) {
+  objective_.push_back(objective);
+  lb_.push_back(lb);
+  ub_.push_back(ub);
+  return num_vars() - 1;
+}
+
+int LinearProgram::add_row(std::vector<std::pair<int, double>> coeffs, double lo, double hi) {
+  for (const auto& [v, c] : coeffs) {
+    if (v < 0 || v >= num_vars()) {
+      throw std::invalid_argument("LinearProgram::add_row: unknown variable");
+    }
+    (void)c;
+  }
+  rows_.push_back(Row{std::move(coeffs), lo, hi});
+  return num_rows() - 1;
+}
+
+namespace {
+
+/// Dense tableau for the two-phase simplex.
+class Tableau {
+public:
+  Tableau(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double p = at(pr, pc);
+    assert(std::fabs(p) > kEps);
+    const double inv = 1.0 / p;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      at(pr, c) *= inv;
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double f = at(r, pc);
+      if (std::fabs(f) < kEps) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        at(r, c) -= f * at(pr, c);
+      }
+      at(r, pc) = 0.0;  // kill residual rounding
+    }
+  }
+
+private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+struct StdRow {
+  std::vector<double> a;  // dense over structural columns
+  double b = 0.0;
+  int slack_sign = 0;  // +1: a.y + s = b; -1: a.y - s = b; 0: equality
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LinearProgram& lp, std::size_t max_iterations) {
+  const int n = lp.num_vars();
+  for (int v = 0; v < n; ++v) {
+    if (!std::isfinite(lp.lower_bound(v))) {
+      throw std::invalid_argument("solve_lp: variables must have finite lower bounds");
+    }
+  }
+
+  // -- Standard form: shift variables to y = x - lb >= 0, expand rows. -------
+  std::vector<StdRow> rows;
+  const auto shift_const = [&](const LinearProgram::Row& r) {
+    double s = 0.0;
+    for (const auto& [v, c] : r.coeffs) {
+      s += c * lp.lower_bound(v);
+    }
+    return s;
+  };
+  for (int ri = 0; ri < lp.num_rows(); ++ri) {
+    const auto& r = lp.row(ri);
+    const double off = shift_const(r);
+    std::vector<double> dense(n, 0.0);
+    for (const auto& [v, c] : r.coeffs) {
+      dense[v] += c;
+    }
+    const bool has_lo = std::isfinite(r.lo);
+    const bool has_hi = std::isfinite(r.hi);
+    if (has_lo && has_hi && std::fabs(r.lo - r.hi) < kEps) {
+      rows.push_back({dense, r.lo - off, 0});
+    } else {
+      if (has_hi) {
+        rows.push_back({dense, r.hi - off, +1});
+      }
+      if (has_lo) {
+        rows.push_back({dense, r.lo - off, -1});
+      }
+    }
+  }
+  // Finite upper bounds become rows y_v <= ub - lb.
+  for (int v = 0; v < n; ++v) {
+    if (std::isfinite(lp.upper_bound(v))) {
+      std::vector<double> dense(n, 0.0);
+      dense[v] = 1.0;
+      rows.push_back({std::move(dense), lp.upper_bound(v) - lp.lower_bound(v), +1});
+    }
+  }
+
+  const std::size_t m = rows.size();
+  // Columns: [structural n][slack m (some unused)][artificial m][rhs].
+  const std::size_t slack0 = static_cast<std::size_t>(n);
+  const std::size_t art0 = slack0 + m;
+  const std::size_t rhs = art0 + m;
+  Tableau t(m, rhs + 1);
+  std::vector<std::size_t> basis(m);
+
+  for (std::size_t r = 0; r < m; ++r) {
+    double sign = rows[r].b < 0 ? -1.0 : 1.0;  // make rhs nonnegative
+    for (int v = 0; v < n; ++v) {
+      t.at(r, v) = sign * rows[r].a[v];
+    }
+    if (rows[r].slack_sign != 0) {
+      t.at(r, slack0 + r) = sign * rows[r].slack_sign;
+    }
+    t.at(r, art0 + r) = 1.0;
+    t.at(r, rhs) = sign * rows[r].b;
+    basis[r] = art0 + r;
+  }
+
+  if (max_iterations == 0) {
+    max_iterations = 2000 + 200 * (m + static_cast<std::size_t>(n));
+  }
+
+  // Reduced-cost row, maintained through pivots.
+  std::vector<double> z(rhs + 1, 0.0);
+  const auto price_out_basis = [&](const std::vector<double>& cost) {
+    std::fill(z.begin(), z.end(), 0.0);
+    for (std::size_t c = 0; c <= rhs; ++c) {
+      z[c] = c < cost.size() ? cost[c] : 0.0;
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      const double cb = basis[r] < cost.size() ? cost[basis[r]] : 0.0;
+      if (std::fabs(cb) < kEps) continue;
+      for (std::size_t c = 0; c <= rhs; ++c) {
+        z[c] -= cb * t.at(r, c);
+      }
+    }
+  };
+
+  std::size_t iterations = 0;
+  const auto run_simplex = [&](bool forbid_artificials) -> LpStatus {
+    for (;;) {
+      if (iterations++ > max_iterations) {
+        return LpStatus::IterationLimit;
+      }
+      const bool bland = iterations > max_iterations / 2;
+      // Entering column.
+      std::size_t enter = rhs;
+      double best = -kEps;
+      const std::size_t limit = forbid_artificials ? art0 : rhs;
+      for (std::size_t c = 0; c < limit; ++c) {
+        if (z[c] < best) {
+          if (bland) {
+            enter = c;
+            break;
+          }
+          best = z[c];
+          enter = c;
+        }
+      }
+      if (enter == rhs) {
+        return LpStatus::Optimal;
+      }
+      // Ratio test.
+      std::size_t leave = m;
+      double best_ratio = kLpInfinity;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double a = t.at(r, enter);
+        if (a > kEps) {
+          const double ratio = t.at(r, rhs) / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && (leave == m || basis[r] < basis[leave]))) {
+            best_ratio = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave == m) {
+        return LpStatus::Unbounded;
+      }
+      t.pivot(leave, enter);
+      // Update the reduced-cost row like any other row.
+      const double f = z[enter];
+      if (std::fabs(f) > kEps) {
+        for (std::size_t c = 0; c <= rhs; ++c) {
+          z[c] -= f * t.at(leave, c);
+        }
+        z[enter] = 0.0;
+      }
+      basis[leave] = enter;
+    }
+  };
+
+  // -- Phase 1: minimize the sum of artificials. ------------------------------
+  {
+    std::vector<double> cost(rhs, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      cost[art0 + r] = 1.0;
+    }
+    price_out_basis(cost);
+    const LpStatus s = run_simplex(false);
+    if (s == LpStatus::Unbounded || s == LpStatus::IterationLimit) {
+      return {s == LpStatus::IterationLimit ? LpStatus::IterationLimit : LpStatus::Infeasible,
+              0.0,
+              {}};
+    }
+    // Sum of artificials is -z[rhs].
+    if (-z[rhs] > kFeasEps) {
+      return {LpStatus::Infeasible, 0.0, {}};
+    }
+    // Pivot remaining artificials (at value 0) out of the basis when possible.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] >= art0) {
+        std::size_t enter = rhs;
+        for (std::size_t c = 0; c < art0; ++c) {
+          if (std::fabs(t.at(r, c)) > 1e-6) {
+            enter = c;
+            break;
+          }
+        }
+        if (enter != rhs) {
+          t.pivot(r, enter);
+          basis[r] = enter;
+        }
+        // Otherwise the row is redundant; the artificial stays basic at 0,
+        // which is harmless as long as phase 2 never lets it re-enter.
+      }
+    }
+  }
+
+  // -- Phase 2: original objective over shifted variables. --------------------
+  {
+    std::vector<double> cost(rhs, 0.0);
+    for (int v = 0; v < n; ++v) {
+      cost[v] = lp.objective(v);
+    }
+    price_out_basis(cost);
+    const LpStatus s = run_simplex(true);
+    if (s != LpStatus::Optimal) {
+      return {s, 0.0, {}};
+    }
+  }
+
+  // -- Extract the solution. ---------------------------------------------------
+  LpSolution sol;
+  sol.status = LpStatus::Optimal;
+  sol.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < static_cast<std::size_t>(n)) {
+      sol.x[basis[r]] = t.at(r, rhs);
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    sol.x[v] += lp.lower_bound(v);
+    sol.objective += lp.objective(v) * sol.x[v];
+  }
+  return sol;
+}
+
+}  // namespace t1sfq

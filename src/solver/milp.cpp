@@ -1,0 +1,126 @@
+#include "solver/milp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t1sfq {
+
+namespace {
+
+struct Bounds {
+  std::vector<double> lb, ub;
+};
+
+struct Node {
+  Bounds bounds;
+  double parent_bound;  // LP objective of the parent (for best-first-ish DFS)
+};
+
+}  // namespace
+
+MilpSolution solve_milp(const LinearProgram& lp, const std::vector<int>& integer_vars,
+                        const MilpParams& params) {
+  MilpSolution result;
+  Bounds root;
+  root.lb.resize(lp.num_vars());
+  root.ub.resize(lp.num_vars());
+  for (int v = 0; v < lp.num_vars(); ++v) {
+    root.lb[v] = lp.lower_bound(v);
+    root.ub[v] = lp.upper_bound(v);
+  }
+
+  double incumbent = kLpInfinity;
+  std::vector<double> incumbent_x;
+  bool any_feasible_lp = false;
+  bool unbounded = false;
+
+  std::vector<Node> stack;
+  stack.push_back({root, -kLpInfinity});
+
+  LinearProgram work = lp;  // bounds are rewritten per node
+
+  while (!stack.empty()) {
+    if (result.nodes_explored >= params.max_nodes) {
+      if (std::isfinite(incumbent)) {
+        break;  // return best incumbent with NodeLimit status below
+      }
+      result.status = MilpStatus::NodeLimit;
+      return result;
+    }
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+    if (node.parent_bound >= incumbent - params.pruning_tol) {
+      continue;  // cannot improve on the incumbent
+    }
+    ++result.nodes_explored;
+
+    for (int v = 0; v < lp.num_vars(); ++v) {
+      work.set_bounds(v, node.bounds.lb[v], node.bounds.ub[v]);
+    }
+    const LpSolution rel = solve_lp(work);
+    if (rel.status == LpStatus::Infeasible || rel.status == LpStatus::IterationLimit) {
+      continue;
+    }
+    if (rel.status == LpStatus::Unbounded) {
+      unbounded = true;
+      continue;
+    }
+    any_feasible_lp = true;
+    if (rel.objective >= incumbent - params.pruning_tol) {
+      continue;
+    }
+
+    // Find the most fractional integer variable.
+    int branch_var = -1;
+    double best_frac = params.integrality_tol;
+    for (const int v : integer_vars) {
+      const double x = rel.x[v];
+      const double frac = std::fabs(x - std::round(x));
+      if (frac > best_frac) {
+        best_frac = frac;
+        branch_var = v;
+      }
+    }
+    if (branch_var < 0) {
+      // Integral solution: new incumbent.
+      if (rel.objective < incumbent) {
+        incumbent = rel.objective;
+        incumbent_x = rel.x;
+        for (const int v : integer_vars) {
+          incumbent_x[v] = std::round(incumbent_x[v]);
+        }
+      }
+      continue;
+    }
+
+    const double x = rel.x[branch_var];
+    // Explore the branch closer to the LP value first (pushed last).
+    Node down{node.bounds, rel.objective};
+    down.bounds.ub[branch_var] = std::floor(x);
+    Node up{node.bounds, rel.objective};
+    up.bounds.lb[branch_var] = std::ceil(x);
+    if (x - std::floor(x) <= 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  if (std::isfinite(incumbent)) {
+    result.status =
+        result.nodes_explored >= params.max_nodes ? MilpStatus::NodeLimit : MilpStatus::Optimal;
+    result.objective = incumbent;
+    result.x = std::move(incumbent_x);
+  } else if (unbounded && !any_feasible_lp) {
+    result.status = MilpStatus::Unbounded;
+  } else if (unbounded) {
+    result.status = MilpStatus::Unbounded;
+  } else {
+    result.status = MilpStatus::Infeasible;
+  }
+  return result;
+}
+
+}  // namespace t1sfq

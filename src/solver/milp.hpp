@@ -1,0 +1,39 @@
+#pragma once
+/// \file milp.hpp
+/// \brief Branch-and-bound mixed-integer solver on top of the simplex core.
+///
+/// Exact engine for the paper's phase-assignment ILP (§II-B). Depth-first
+/// branch and bound: solve the LP relaxation, pick the most fractional
+/// integer variable, branch by tightening its bounds, prune on the incumbent.
+/// Instances produced by the flow are small and near-integral, so node counts
+/// stay low; node and iteration budgets make the engine fail soft (Unknown)
+/// instead of hanging on adversarial inputs.
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/lp.hpp"
+
+namespace t1sfq {
+
+enum class MilpStatus { Optimal, Infeasible, Unbounded, NodeLimit };
+
+struct MilpSolution {
+  MilpStatus status = MilpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::uint64_t nodes_explored = 0;
+};
+
+struct MilpParams {
+  std::uint64_t max_nodes = 100000;
+  double integrality_tol = 1e-6;
+  /// Gap at which a node is pruned against the incumbent (absolute).
+  double pruning_tol = 1e-9;
+};
+
+/// Minimizes the LP objective with the listed variables constrained integral.
+MilpSolution solve_milp(const LinearProgram& lp, const std::vector<int>& integer_vars,
+                        const MilpParams& params = {});
+
+}  // namespace t1sfq

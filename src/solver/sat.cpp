@@ -1,0 +1,517 @@
+#include "solver/sat.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace t1sfq {
+
+Var SatSolver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(kUndef);
+  phase_.push_back(0);
+  reason_.push_back(kNoReason);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_pos_.push_back(-1);
+  heap_insert_(v);
+  return v;
+}
+
+void SatSolver::heap_insert_(Var v) {
+  if (heap_pos_[v] >= 0) {
+    return;
+  }
+  heap_pos_[v] = static_cast<int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up_(heap_.size() - 1);
+}
+
+void SatSolver::heap_sift_up_(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less_(v, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int32_t>(i);
+}
+
+void SatSolver::heap_sift_down_(std::size_t i) {
+  const Var v = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) {
+      break;
+    }
+    if (child + 1 < heap_.size() && heap_less_(heap_[child + 1], heap_[child])) {
+      ++child;
+    }
+    if (!heap_less_(heap_[child], v)) {
+      break;
+    }
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int32_t>(i);
+}
+
+bool SatSolver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) {
+    return false;
+  }
+  backtrack_(0);  // clauses are added at decision level 0
+  // Normalize: sort, dedupe, drop false literals, detect tautology/satisfied.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> out;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    assert(lit_var(l) < num_vars());
+    if (i + 1 < lits.size() && lits[i + 1] == negate(l)) {
+      return true;  // tautology: p and not-p adjacent after sorting
+    }
+    const uint8_t v = value_(l);
+    if (v == 1) {
+      return true;  // already satisfied at level 0
+    }
+    if (v == kUndef) {
+      out.push_back(l);
+    }
+  }
+  if (out.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue_(out[0], kNoReason);
+    if (propagate_() != kNoReason) {
+      unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+  Clause c;
+  c.lits = std::move(out);
+  clauses_.push_back(std::move(c));
+  attach_(static_cast<ClauseRef>(clauses_.size() - 1));
+  return true;
+}
+
+void SatSolver::attach_(ClauseRef cref) {
+  const Clause& c = clauses_[cref];
+  watches_[negate(c.lits[0])].push_back({cref, c.lits[1]});
+  watches_[negate(c.lits[1])].push_back({cref, c.lits[0]});
+}
+
+void SatSolver::enqueue_(Lit l, ClauseRef reason) {
+  const Var v = lit_var(l);
+  assert(assign_[v] == kUndef);
+  assign_[v] = lit_sign(l) ? 0 : 1;
+  phase_[v] = assign_[v];
+  reason_[v] = reason;
+  level_[v] = static_cast<unsigned>(trail_lim_.size());
+  trail_.push_back(l);
+}
+
+SatSolver::ClauseRef SatSolver::propagate_() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p];  // clauses watching ~p (p became true)
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      if (value_(w.blocker) == 1) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause& c = clauses_[w.cref];
+      // Ensure the falsified literal is lits[1].
+      const Lit not_p = negate(p);
+      if (c.lits[0] == not_p) {
+        std::swap(c.lits[0], c.lits[1]);
+      }
+      assert(c.lits[1] == not_p);
+      if (value_(c.lits[0]) == 1) {
+        ws[j++] = {w.cref, c.lits[0]};
+        ++i;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool found = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value_(c.lits[k]) != 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[negate(c.lits[1])].push_back({w.cref, c.lits[0]});
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        ++i;
+        continue;
+      }
+      // Clause is unit or conflicting.
+      ws[j++] = ws[i++];
+      if (value_(c.lits[0]) == 0) {
+        // Conflict: copy remaining watchers and report.
+        while (i < ws.size()) {
+          ws[j++] = ws[i++];
+        }
+        ws.resize(j);
+        qhead_ = trail_.size();
+        return w.cref;
+      }
+      enqueue_(c.lits[0], w.cref);
+    }
+    ws.resize(j);
+  }
+  return kNoReason;
+}
+
+void SatSolver::bump_var_(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) {
+      a *= 1e-100;
+    }
+    var_inc_ *= 1e-100;
+    // Rescaling preserves the ordering: the heap stays valid.
+  }
+  if (heap_pos_[v] >= 0) {
+    heap_sift_up_(static_cast<std::size_t>(heap_pos_[v]));
+  }
+}
+
+void SatSolver::bump_clause_(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (auto& cl : clauses_) {
+      cl.activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void SatSolver::decay_activities_() {
+  var_inc_ /= 0.95;
+  clause_inc_ /= 0.999;
+}
+
+void SatSolver::analyze_(ClauseRef conflict, std::vector<Lit>& learnt,
+                         unsigned& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(0);  // placeholder for the asserting literal
+  const unsigned current_level = static_cast<unsigned>(trail_lim_.size());
+  unsigned counter = 0;
+  Lit p = 0;
+  bool have_p = false;
+  std::size_t index = trail_.size();
+  ClauseRef reason = conflict;
+
+  for (;;) {
+    assert(reason != kNoReason);
+    Clause& c = clauses_[reason];
+    if (c.learned) {
+      bump_clause_(c);
+    }
+    for (const Lit q : c.lits) {
+      if (have_p && q == p) {
+        continue;
+      }
+      const Var v = lit_var(q);
+      if (!seen_[v] && level_[v] > 0) {
+        seen_[v] = 1;
+        bump_var_(v);
+        if (level_[v] >= current_level) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Select the next trail literal at the current level to resolve on.
+    while (!seen_[lit_var(trail_[index - 1])]) {
+      --index;
+    }
+    --index;
+    p = trail_[index];
+    have_p = true;
+    seen_[lit_var(p)] = 0;
+    --counter;
+    if (counter == 0) {
+      break;
+    }
+    reason = reason_[lit_var(p)];
+  }
+  learnt[0] = negate(p);
+
+  // Conflict-clause minimization: drop literals implied by the rest.
+  const auto redundant = [&](Lit q) {
+    const ClauseRef r = reason_[lit_var(q)];
+    if (r == kNoReason) {
+      return false;
+    }
+    for (const Lit x : clauses_[r].lits) {
+      if (x == negate(q)) continue;
+      const Var v = lit_var(x);
+      if (level_[v] > 0 && !seen_[v]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const std::vector<Lit> original(learnt.begin() + 1, learnt.end());
+  std::size_t out = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (!redundant(learnt[i])) {
+      learnt[out++] = learnt[i];
+    }
+  }
+  learnt.resize(out);
+
+  // Clear seen flags for every literal that entered the clause, including the
+  // ones dropped by minimization.
+  for (const Lit q : original) {
+    seen_[lit_var(q)] = 0;
+  }
+
+  if (learnt.size() == 1) {
+    backtrack_level = 0;
+  } else {
+    // Second-highest decision level among the learnt literals.
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[lit_var(learnt[i])] > level_[lit_var(learnt[max_i])]) {
+        max_i = i;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_[lit_var(learnt[1])];
+  }
+}
+
+void SatSolver::backtrack_(unsigned target) {
+  if (trail_lim_.size() <= target) {
+    return;
+  }
+  const std::size_t bound = trail_lim_[target];
+  while (trail_.size() > bound) {
+    const Var v = lit_var(trail_.back());
+    assign_[v] = kUndef;
+    reason_[v] = kNoReason;
+    heap_insert_(v);
+    trail_.pop_back();
+  }
+  trail_lim_.resize(target);
+  qhead_ = trail_.size();
+}
+
+Lit SatSolver::pick_branch_() {
+  while (!heap_.empty()) {
+    const Var v = heap_[0];
+    // Pop the root.
+    heap_pos_[v] = -1;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_pos_[heap_[0]] = 0;
+      heap_sift_down_(0);
+    }
+    if (assign_[v] == kUndef) {
+      return phase_[v] ? pos_lit(v) : neg_lit(v);
+    }
+  }
+  // Heap exhausted: confirm completeness with a linear sweep (vars assigned
+  // at level 0 may have been popped without re-insertion).
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assign_[v] == kUndef) {
+      return phase_[v] ? pos_lit(v) : neg_lit(v);
+    }
+  }
+  return ~Lit{0};
+}
+
+void SatSolver::reduce_db_() {
+  // Remove the lower-activity half of the learned clauses that are not
+  // currently reasons. Rebuilding the watch lists keeps the logic simple.
+  std::vector<ClauseRef> learned;
+  for (ClauseRef i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].learned) {
+      learned.push_back(i);
+    }
+  }
+  if (learned.size() < 2000) {
+    return;
+  }
+  std::sort(learned.begin(), learned.end(), [this](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::vector<uint8_t> is_reason(clauses_.size(), 0);
+  for (const Lit l : trail_) {
+    const ClauseRef r = reason_[lit_var(l)];
+    if (r != kNoReason) {
+      is_reason[r] = 1;
+    }
+  }
+  std::vector<uint8_t> drop(clauses_.size(), 0);
+  for (std::size_t i = 0; i < learned.size() / 2; ++i) {
+    if (!is_reason[learned[i]] && clauses_[learned[i]].lits.size() > 2) {
+      drop[learned[i]] = 1;
+    }
+  }
+  // Compact the clause database, remapping references.
+  std::vector<ClauseRef> remap(clauses_.size(), kNoReason);
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size());
+  for (ClauseRef i = 0; i < clauses_.size(); ++i) {
+    if (!drop[i]) {
+      remap[i] = static_cast<ClauseRef>(kept.size());
+      kept.push_back(std::move(clauses_[i]));
+    }
+  }
+  clauses_ = std::move(kept);
+  for (auto& r : reason_) {
+    if (r != kNoReason) {
+      r = remap[r];
+      assert(r != kNoReason);
+    }
+  }
+  for (auto& ws : watches_) {
+    ws.clear();
+  }
+  // Re-normalize watched positions: literals that are not level-0-false go
+  // first, so the two-watch invariant holds after the rebuild (reduce_db_ is
+  // only called at decision level 0).
+  for (ClauseRef i = 0; i < clauses_.size(); ++i) {
+    auto& lits = clauses_[i].lits;
+    std::stable_partition(lits.begin(), lits.end(),
+                          [this](Lit l) { return value_(l) != 0; });
+    if (value_(lits[0]) == 0) {
+      unsat_ = true;  // all literals permanently false
+    } else if (value_(lits[1]) == 0 && value_(lits[0]) == kUndef) {
+      enqueue_(lits[0], kNoReason);  // clause is unit at level 0
+    }
+    attach_(i);
+  }
+}
+
+uint64_t SatSolver::luby_(uint64_t i) {
+  // Luby sequence: 1 1 2 1 1 2 4 ...
+  uint64_t k = 1;
+  while ((uint64_t{1} << k) - 1 < i + 1) {
+    ++k;
+  }
+  while ((uint64_t{1} << k) - 1 != i + 1) {
+    --k;
+    i -= (uint64_t{1} << k) - 1;
+  }
+  return uint64_t{1} << (k - 1);
+}
+
+SatResult SatSolver::solve(const std::vector<Lit>& assumptions, uint64_t conflict_budget) {
+  if (unsat_) {
+    return SatResult::Unsat;
+  }
+  backtrack_(0);
+  if (propagate_() != kNoReason) {
+    unsat_ = true;
+    return SatResult::Unsat;
+  }
+
+  uint64_t restart_count = 0;
+  uint64_t conflicts_until_restart = 100 * luby_(restart_count);
+  uint64_t conflicts_this_restart = 0;
+  uint64_t total_conflicts = 0;
+
+  for (;;) {
+    const ClauseRef conflict = propagate_();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++total_conflicts;
+      ++conflicts_this_restart;
+      if (trail_lim_.empty()) {
+        unsat_ = true;
+        return SatResult::Unsat;
+      }
+      std::vector<Lit> learnt;
+      unsigned back_level = 0;
+      analyze_(conflict, learnt, back_level);
+      // Backtracking below the assumption levels is fine: assumptions are
+      // re-applied as pseudo-decisions by the main loop.
+      backtrack_(back_level);
+      if (learnt.size() == 1 && trail_lim_.empty()) {
+        if (value_(learnt[0]) == 0) {
+          unsat_ = true;
+          return SatResult::Unsat;
+        }
+        if (value_(learnt[0]) == kUndef) {
+          enqueue_(learnt[0], kNoReason);
+        }
+      } else {
+        Clause c;
+        c.lits = std::move(learnt);
+        c.learned = true;
+        clauses_.push_back(std::move(c));
+        const ClauseRef cref = static_cast<ClauseRef>(clauses_.size() - 1);
+        attach_(cref);
+        ++stats_.learned;
+        if (value_(clauses_[cref].lits[0]) == kUndef) {
+          enqueue_(clauses_[cref].lits[0], cref);
+        }
+      }
+      decay_activities_();
+      if (conflict_budget && total_conflicts >= conflict_budget) {
+        backtrack_(0);
+        return SatResult::Unknown;
+      }
+      if (conflicts_this_restart >= conflicts_until_restart) {
+        ++stats_.restarts;
+        ++restart_count;
+        conflicts_this_restart = 0;
+        conflicts_until_restart = 100 * luby_(restart_count);
+        backtrack_(0);
+        reduce_db_();
+      }
+      continue;
+    }
+
+    // No conflict: apply pending assumptions, then decide.
+    if (trail_lim_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_lim_.size()];
+      if (value_(a) == 0) {
+        backtrack_(0);
+        return SatResult::Unsat;  // assumptions are contradictory
+      }
+      trail_lim_.push_back(trail_.size());
+      if (value_(a) == kUndef) {
+        enqueue_(a, kNoReason);
+      }
+      continue;
+    }
+    const Lit decision = pick_branch_();
+    if (decision == ~Lit{0}) {
+      return SatResult::Sat;  // model complete (query model before backtracking)
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(trail_.size());
+    enqueue_(decision, kNoReason);
+  }
+}
+
+bool SatSolver::model_value(Var v) const {
+  return assign_[v] == 1;
+}
+
+}  // namespace t1sfq

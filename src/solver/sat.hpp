@@ -1,0 +1,120 @@
+#pragma once
+/// \file sat.hpp
+/// \brief A CDCL SAT solver (conflict-driven clause learning).
+///
+/// This is the SAT core of the repository's OR-Tools replacement. It is used
+/// for combinational equivalence checking (miters over the flow's inputs and
+/// outputs), for the CP-SAT-style cross-checks of the DFF-insertion pass, and
+/// is tested on standard SAT/UNSAT families. Features: two-literal watches,
+/// first-UIP clause learning with activity-based (VSIDS) branching, phase
+/// saving, Luby restarts, and learned-clause garbage collection.
+///
+/// Literal convention: variable v (0-based) has positive literal 2v and
+/// negative literal 2v+1 (MiniSat-style).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace t1sfq {
+
+using Var = uint32_t;
+using Lit = uint32_t;
+
+constexpr Lit pos_lit(Var v) { return 2 * v; }
+constexpr Lit neg_lit(Var v) { return 2 * v + 1; }
+constexpr Lit negate(Lit l) { return l ^ 1; }
+constexpr Var lit_var(Lit l) { return l >> 1; }
+constexpr bool lit_sign(Lit l) { return l & 1; }  // true = negated
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+struct SatStats {
+  uint64_t conflicts = 0;
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t restarts = 0;
+  uint64_t learned = 0;
+};
+
+class SatSolver {
+public:
+  SatSolver() = default;
+
+  /// Creates a fresh variable and returns it.
+  Var new_var();
+  std::size_t num_vars() const { return assign_.size(); }
+
+  /// Adds a clause (vector of literals). Returns false if the formula became
+  /// trivially unsatisfiable (empty clause / conflicting units at level 0).
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) { return add_clause(std::vector<Lit>(lits)); }
+
+  /// Solves under optional assumptions. `conflict_budget` of 0 means no limit.
+  SatResult solve(const std::vector<Lit>& assumptions = {}, uint64_t conflict_budget = 0);
+
+  /// Model access after Sat: value of a variable.
+  bool model_value(Var v) const;
+
+  const SatStats& stats() const { return stats_; }
+
+private:
+  static constexpr uint8_t kUndef = 2;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+    double activity = 0.0;
+  };
+  using ClauseRef = uint32_t;
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  uint8_t value_(Lit l) const {
+    const uint8_t a = assign_[lit_var(l)];
+    return a == kUndef ? kUndef : static_cast<uint8_t>(a ^ lit_sign(l));
+  }
+
+  // Indexed max-heap over variable activity (MiniSat-style order heap).
+  void heap_insert_(Var v);
+  void heap_sift_up_(std::size_t i);
+  void heap_sift_down_(std::size_t i);
+  bool heap_less_(Var a, Var b) const { return activity_[a] > activity_[b]; }
+
+  void enqueue_(Lit l, ClauseRef reason);
+  ClauseRef propagate_();
+  void analyze_(ClauseRef conflict, std::vector<Lit>& learnt, unsigned& backtrack_level);
+  void backtrack_(unsigned level);
+  Lit pick_branch_();
+  void bump_var_(Var v);
+  void bump_clause_(Clause& c);
+  void decay_activities_();
+  void reduce_db_();
+  void attach_(ClauseRef cref);
+  static uint64_t luby_(uint64_t i);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+  std::vector<uint8_t> assign_;                // per var: 0/1/kUndef
+  std::vector<uint8_t> phase_;                 // saved phase per var
+  std::vector<ClauseRef> reason_;              // per var
+  std::vector<unsigned> level_;                // per var
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::vector<double> activity_;
+  std::vector<Var> heap_;           // order heap (max-activity at the root)
+  std::vector<int32_t> heap_pos_;   // position per var, -1 if absent
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<uint8_t> seen_;
+  bool unsat_ = false;
+  SatStats stats_;
+
+  static constexpr ClauseRef kNoReason = ~ClauseRef{0};
+};
+
+}  // namespace t1sfq

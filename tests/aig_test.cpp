@@ -1,0 +1,108 @@
+#include "network/aig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace t1sfq {
+namespace {
+
+TEST(Aig, ConstantsAndFolding) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  EXPECT_EQ(aig.add_and(a, Aig::kFalse), Aig::kFalse);
+  EXPECT_EQ(aig.add_and(a, Aig::kTrue), a);
+  EXPECT_EQ(aig.add_and(a, a), a);
+  EXPECT_EQ(aig.add_and(a, Aig::lit_not(a)), Aig::kFalse);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  EXPECT_EQ(aig.add_and(a, b), aig.add_and(b, a));
+  EXPECT_EQ(aig.num_ands(), 1u);
+  // Complemented inputs hash separately.
+  EXPECT_NE(aig.add_and(a, b), aig.add_and(Aig::lit_not(a), b));
+}
+
+TEST(Aig, LiteralHelpers) {
+  EXPECT_EQ(Aig::lit_node(Aig::make_lit(5, true)), 5u);
+  EXPECT_TRUE(Aig::lit_compl(Aig::make_lit(5, true)));
+  EXPECT_EQ(Aig::lit_not(Aig::lit_not(Aig::make_lit(7, false))), Aig::make_lit(7, false));
+}
+
+TEST(Aig, XorViaAnds) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  aig.add_po(aig.add_xor(a, b));
+  const auto tts = aig.simulate_truth_tables();
+  EXPECT_EQ(tts[0].to_binary(), "0110");
+  EXPECT_EQ(aig.num_ands(), 3u);
+}
+
+TEST(Aig, MuxAndMaj) {
+  Aig aig;
+  const auto s = aig.add_pi();
+  const auto t = aig.add_pi();
+  const auto e = aig.add_pi();
+  aig.add_po(aig.add_mux(s, t, e));
+  aig.add_po(aig.add_maj(s, t, e));
+  const auto tts = aig.simulate_truth_tables();
+  // mux(s,t,e) with s = var0: s ? t : e.
+  EXPECT_EQ(tts[0], TruthTable::ite(TruthTable::nth_var(3, 0), TruthTable::nth_var(3, 1),
+                                    TruthTable::nth_var(3, 2)));
+  EXPECT_EQ(tts[1], tt3::maj3());
+}
+
+TEST(Aig, ComplementedPo) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  aig.add_po(Aig::lit_not(aig.add_and(a, b)));
+  const auto tts = aig.simulate_truth_tables();
+  EXPECT_EQ(tts[0].to_binary(), "0111");  // NAND
+}
+
+TEST(Aig, DepthOfBalancedTree) {
+  Aig aig;
+  std::vector<Aig::Lit> layer;
+  for (int i = 0; i < 8; ++i) {
+    layer.push_back(aig.add_pi());
+  }
+  while (layer.size() > 1) {
+    std::vector<Aig::Lit> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(aig.add_and(layer[i], layer[i + 1]));
+    }
+    layer = next;
+  }
+  aig.add_po(layer[0]);
+  EXPECT_EQ(aig.depth(), 3u);
+  EXPECT_EQ(aig.num_ands(), 7u);
+}
+
+TEST(Aig, SimulationMatchesSemantics) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  const auto c = aig.add_pi();
+  aig.add_po(aig.add_and(aig.add_or(a, b), Aig::lit_not(c)));
+  std::mt19937_64 rng(5);
+  const uint64_t wa = rng(), wb = rng(), wc = rng();
+  const auto values = aig.simulate_words({wa, wb, wc});
+  const auto po = aig.pos()[0];
+  const uint64_t got = Aig::lit_compl(po) ? ~values[Aig::lit_node(po)]
+                                          : values[Aig::lit_node(po)];
+  EXPECT_EQ(got, (wa | wb) & ~wc);
+}
+
+TEST(Aig, WrongPiCountThrows) {
+  Aig aig;
+  aig.add_pi();
+  EXPECT_THROW(aig.simulate_words({1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace t1sfq

@@ -1,0 +1,213 @@
+#include "benchmarks/arith.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "network/simulation.hpp"
+
+namespace t1sfq {
+namespace {
+
+/// Evaluates a network on packed integer operands (one word per PI prefix).
+std::vector<bool> run(const Network& net, const std::vector<bool>& pis) {
+  return simulate(net, pis);
+}
+
+std::vector<bool> concat(std::initializer_list<std::vector<bool>> parts) {
+  std::vector<bool> out;
+  for (const auto& p : parts) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+TEST(Arith, WordHelpersRoundTrip) {
+  EXPECT_EQ(word_to_uint(uint_to_word(0xdeadbeef, 32)), 0xdeadbeefu);
+  EXPECT_EQ(word_to_uint(uint_to_word(5, 3)), 5u);
+  EXPECT_EQ(uint_to_word(6, 3), (std::vector<bool>{false, true, true}));
+}
+
+TEST(Arith, HalfAdderTruthTable) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const SumCarry ha = half_adder(net, a, b);
+  net.add_po(ha.sum);
+  net.add_po(ha.carry);
+  for (unsigned m = 0; m < 4; ++m) {
+    const auto out = run(net, {(m & 1) != 0, (m & 2) != 0});
+    const unsigned total = (m & 1) + ((m >> 1) & 1);
+    EXPECT_EQ(out[0], (total & 1) != 0);
+    EXPECT_EQ(out[1], total >= 2);
+  }
+}
+
+TEST(Arith, RippleCarryAdderRandom) {
+  const unsigned bits = 16;
+  Network net;
+  const Word a = add_pi_word(net, bits, "a");
+  const Word b = add_pi_word(net, bits, "b");
+  add_po_word(net, ripple_carry_adder(net, a, b, net.get_const0()), "s");
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t x = rng() & 0xffff, y = rng() & 0xffff;
+    const auto out = run(net, concat({uint_to_word(x, bits), uint_to_word(y, bits)}));
+    EXPECT_EQ(word_to_uint(out), x + y);
+  }
+}
+
+TEST(Arith, AddUnsignedMixedWidths) {
+  Network net;
+  const Word a = add_pi_word(net, 8, "a");
+  const Word b = add_pi_word(net, 4, "b");
+  add_po_word(net, add_unsigned(net, a, b), "s");
+  const auto out = run(net, concat({uint_to_word(200, 8), uint_to_word(9, 4)}));
+  EXPECT_EQ(word_to_uint(out), 209u);
+}
+
+TEST(Arith, SubtractUnsignedWithBorrow) {
+  Network net;
+  const Word a = add_pi_word(net, 8, "a");
+  const Word b = add_pi_word(net, 8, "b");
+  add_po_word(net, subtract_unsigned(net, a, b), "d");
+  // 100 - 58 = 42, no borrow.
+  auto out = run(net, concat({uint_to_word(100, 8), uint_to_word(58, 8)}));
+  EXPECT_EQ(word_to_uint({out.begin(), out.end() - 1}), 42u);
+  EXPECT_FALSE(out.back());
+  // 58 - 100 wraps and borrows.
+  out = run(net, concat({uint_to_word(58, 8), uint_to_word(100, 8)}));
+  EXPECT_TRUE(out.back());
+}
+
+TEST(Arith, ArrayMultiplierRandom) {
+  const unsigned bits = 8;
+  Network net;
+  const Word a = add_pi_word(net, bits, "a");
+  const Word b = add_pi_word(net, bits, "b");
+  add_po_word(net, array_multiplier(net, a, b), "p");
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t x = rng() & 0xff, y = rng() & 0xff;
+    const auto out = run(net, concat({uint_to_word(x, bits), uint_to_word(y, bits)}));
+    EXPECT_EQ(word_to_uint(out), x * y);
+  }
+}
+
+TEST(Arith, ConstantMultiply) {
+  Network net;
+  const Word a = add_pi_word(net, 8, "a");
+  add_po_word(net, constant_multiply(net, a, 37), "p");
+  for (uint64_t x : {0ull, 1ull, 7ull, 255ull}) {
+    const auto out = run(net, uint_to_word(x, 8));
+    EXPECT_EQ(word_to_uint(out), 37 * x);
+  }
+}
+
+TEST(Arith, ConstantMultiplyByZeroAndPowerOfTwo) {
+  Network net;
+  const Word a = add_pi_word(net, 6, "a");
+  add_po_word(net, constant_multiply(net, a, 0), "z");
+  Network net2;
+  const Word a2 = add_pi_word(net2, 6, "a");
+  add_po_word(net2, constant_multiply(net2, a2, 8), "p");
+  EXPECT_EQ(word_to_uint(run(net, uint_to_word(63, 6))), 0u);
+  EXPECT_EQ(word_to_uint(run(net2, uint_to_word(5, 6))), 40u);
+}
+
+TEST(Arith, PopcountAllWidths) {
+  for (unsigned width : {1u, 2u, 3u, 7u, 16u, 33u}) {
+    Network net;
+    const Word in = add_pi_word(net, width, "v");
+    add_po_word(net, popcount(net, in), "c");
+    std::mt19937_64 rng(width);
+    for (int i = 0; i < 50; ++i) {
+      std::vector<bool> bits(width);
+      unsigned expect = 0;
+      for (auto&& b : bits) {
+        b = rng() & 1;
+        expect += b;
+      }
+      EXPECT_EQ(word_to_uint(run(net, bits)), expect) << "width " << width;
+    }
+  }
+}
+
+TEST(Arith, Comparators) {
+  Network net;
+  const Word a = add_pi_word(net, 6, "a");
+  const Word b = add_pi_word(net, 6, "b");
+  net.add_po(equals(net, a, b), "eq");
+  net.add_po(greater_than(net, a, b), "gt");
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t x = rng() & 63, y = rng() & 63;
+    const auto out = run(net, concat({uint_to_word(x, 6), uint_to_word(y, 6)}));
+    EXPECT_EQ(out[0], x == y);
+    EXPECT_EQ(out[1], x > y);
+  }
+}
+
+TEST(Arith, GreaterEqualConst) {
+  for (uint64_t threshold : {0ull, 1ull, 17ull, 31ull, 32ull, 100ull}) {
+    Network net;
+    const Word a = add_pi_word(net, 5, "a");
+    net.add_po(greater_equal_const(net, a, threshold), "ge");
+    for (uint64_t x = 0; x < 32; ++x) {
+      const auto out = run(net, uint_to_word(x, 5));
+      EXPECT_EQ(out[0], x >= threshold) << "x=" << x << " t=" << threshold;
+    }
+  }
+}
+
+TEST(Arith, ParityMatchesXorFold) {
+  Network net;
+  const Word a = add_pi_word(net, 9, "a");
+  net.add_po(parity(net, a), "p");
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<bool> bits(9);
+    bool expect = false;
+    for (auto&& b : bits) {
+      b = rng() & 1;
+      expect ^= b;
+    }
+    EXPECT_EQ(run(net, bits)[0], expect);
+  }
+}
+
+TEST(Arith, MuxSelects) {
+  Network net;
+  const NodeId s = net.add_pi();
+  const NodeId t = net.add_pi();
+  const NodeId e = net.add_pi();
+  net.add_po(mux(net, s, t, e));
+  EXPECT_TRUE(run(net, {true, true, false})[0]);
+  EXPECT_FALSE(run(net, {true, false, true})[0]);
+  EXPECT_TRUE(run(net, {false, false, true})[0]);
+  EXPECT_FALSE(run(net, {false, true, false})[0]);
+}
+
+TEST(Arith, ShiftAndSlice) {
+  Network net;
+  const Word a = add_pi_word(net, 4, "a");
+  add_po_word(net, shift_left(net, a, 3), "s");
+  const auto out = run(net, uint_to_word(0b1011, 4));
+  EXPECT_EQ(word_to_uint(out), 0b1011000u);
+
+  Network net2;
+  const Word b = add_pi_word(net2, 8, "b");
+  add_po_word(net2, slice(net2, b, 2, 6), "x");
+  const auto out2 = run(net2, uint_to_word(0b10110100, 8));
+  EXPECT_EQ(word_to_uint(out2), 0b1101u);
+}
+
+TEST(Arith, WidthMismatchThrows) {
+  Network net;
+  const Word a = add_pi_word(net, 4, "a");
+  const Word b = add_pi_word(net, 5, "b");
+  EXPECT_THROW(ripple_carry_adder(net, a, b, net.get_const0()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace t1sfq

@@ -1,0 +1,65 @@
+#include "sfq/cell_library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1sfq {
+namespace {
+
+TEST(CellLibrary, InterfaceCellsAreFree) {
+  const CellLibrary lib;
+  EXPECT_EQ(lib.jj_cost(GateType::Pi), 0u);
+  EXPECT_EQ(lib.jj_cost(GateType::Const0), 0u);
+  EXPECT_EQ(lib.jj_cost(GateType::Const1), 0u);
+}
+
+TEST(CellLibrary, T1AnchorsMatchThePaper) {
+  const CellLibrary lib;
+  // "the T1-FF can realize a full adder with only 29 JJs" (paper §I-A).
+  EXPECT_EQ(lib.jj_cost(GateType::T1), 29u);
+  // Plain ports are taps; inverted ports pay one inverter.
+  EXPECT_EQ(lib.jj_cost(GateType::T1Port, T1PortFn::Sum), 0u);
+  EXPECT_EQ(lib.jj_cost(GateType::T1Port, T1PortFn::Carry), 0u);
+  EXPECT_EQ(lib.jj_cost(GateType::T1Port, T1PortFn::Or), 0u);
+  EXPECT_EQ(lib.jj_cost(GateType::T1Port, T1PortFn::CarryN), lib.jj_t1_inverter);
+  EXPECT_EQ(lib.jj_cost(GateType::T1Port, T1PortFn::OrN), lib.jj_t1_inverter);
+}
+
+TEST(CellLibrary, T1FullAdderIsWellUnderHalfTheConventionalArea) {
+  // The paper's motivation: the T1 FA uses ~40% of the JJs of a conventional
+  // realization (2 XOR + 2 AND + OR, plus input splitters).
+  const CellLibrary lib;
+  const unsigned conventional = 2 * lib.jj_xor2 + 2 * lib.jj_and2 + lib.jj_or2 +
+                                4 * lib.jj_splitter;  // a, b, cin, a^b fan out
+  EXPECT_LT(lib.jj_cost(GateType::T1), conventional);
+  EXPECT_LT(static_cast<double>(lib.jj_cost(GateType::T1)) / conventional, 0.6);
+}
+
+TEST(CellLibrary, RawGateArea) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g = net.add_and(a, b);
+  net.add_po(net.add_not(g));
+  const CellLibrary lib;
+  EXPECT_EQ(raw_gate_area(net, lib), lib.jj_and2 + lib.jj_not);
+}
+
+TEST(CellLibrary, RawGateAreaSkipsDeadNodes) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  (void)net.add_and(a, b);  // dangling
+  net.add_po(net.add_or(a, b));
+  net.sweep_dangling();
+  const CellLibrary lib;
+  EXPECT_EQ(raw_gate_area(net, lib), lib.jj_or2);
+}
+
+TEST(CellLibrary, CustomLibraryPropagates) {
+  CellLibrary lib;
+  lib.jj_and2 = 99;
+  EXPECT_EQ(lib.jj_cost(GateType::And2), 99u);
+}
+
+}  // namespace
+}  // namespace t1sfq

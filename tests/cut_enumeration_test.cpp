@@ -1,0 +1,157 @@
+#include "network/cut_enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace t1sfq {
+namespace {
+
+/// Finds a cut of `node` with exactly the given leaves; returns its index + 1
+/// (0 if absent).
+std::size_t find_cut(const CutSet& cs, std::vector<NodeId> leaves) {
+  std::sort(leaves.begin(), leaves.end());
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (cs[i].leaves == leaves) {
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+TEST(CutEnumeration, TrivialCutAlwaysPresent) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g = net.add_and(a, b);
+  net.add_po(g);
+  const auto cuts = enumerate_cuts(net);
+  EXPECT_TRUE(find_cut(cuts[a], {a}));
+  EXPECT_TRUE(find_cut(cuts[g], {g}));
+}
+
+TEST(CutEnumeration, SingleGateCut) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g = net.add_and(a, b);
+  net.add_po(g);
+  const auto cuts = enumerate_cuts(net);
+  const std::size_t idx = find_cut(cuts[g], {a, b});
+  ASSERT_TRUE(idx);
+  EXPECT_EQ(cuts[g][idx - 1].function.to_binary(), "1000");
+}
+
+TEST(CutEnumeration, FullAdderSumCutIsXor3) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId c = net.add_pi();
+  const NodeId axb = net.add_xor(a, b);
+  const NodeId sum = net.add_xor(axb, c);
+  const NodeId carry = net.add_or(net.add_and(a, b), net.add_and(axb, c));
+  net.add_po(sum);
+  net.add_po(carry);
+  const auto cuts = enumerate_cuts(net);
+
+  const std::size_t s = find_cut(cuts[sum], {a, b, c});
+  ASSERT_TRUE(s);
+  // Function variables are ordered by ascending leaf id = (a, b, c).
+  EXPECT_EQ(cuts[sum][s - 1].function, tt3::xor3());
+
+  const std::size_t k = find_cut(cuts[carry], {a, b, c});
+  ASSERT_TRUE(k);
+  EXPECT_EQ(cuts[carry][k - 1].function, tt3::maj3());
+}
+
+TEST(CutEnumeration, RespectsCutSizeLimit) {
+  Network net;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 4; ++i) {
+    pis.push_back(net.add_pi());
+  }
+  const NodeId g1 = net.add_and(pis[0], pis[1]);
+  const NodeId g2 = net.add_and(pis[2], pis[3]);
+  const NodeId top = net.add_and(g1, g2);
+  net.add_po(top);
+  CutEnumerationParams p;
+  p.cut_size = 3;
+  const auto cuts = enumerate_cuts(net, p);
+  for (const auto& cut : cuts[top].cuts()) {
+    EXPECT_LE(cut.leaves.size(), 3u);
+  }
+  // The 4-leaf cut {pis...} must be absent with cut_size 3.
+  EXPECT_FALSE(find_cut(cuts[top], pis));
+  // With cut_size 4 it appears, with the AND4 function.
+  p.cut_size = 4;
+  const auto cuts4 = enumerate_cuts(net, p);
+  const std::size_t idx = find_cut(cuts4[top], pis);
+  ASSERT_TRUE(idx);
+  EXPECT_EQ(cuts4[top][idx - 1].function.count_ones(), 1u);
+  EXPECT_TRUE(cuts4[top][idx - 1].function.get_bit(15));
+}
+
+TEST(CutEnumeration, NotGateCutFunctionIsComplemented) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g = net.add_and(a, b);
+  const NodeId n = net.add_not(g);
+  net.add_po(n);
+  const auto cuts = enumerate_cuts(net);
+  const std::size_t idx = find_cut(cuts[n], {a, b});
+  ASSERT_TRUE(idx);
+  EXPECT_EQ(cuts[n][idx - 1].function.to_binary(), "0111");  // NAND
+}
+
+TEST(CutEnumeration, T1BodiesAreBarriers) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId c = net.add_pi();
+  const NodeId t1 = net.add_t1(a, b, c);
+  const NodeId s = net.add_t1_port(t1, T1PortFn::Sum);
+  const NodeId top = net.add_and(s, a);
+  net.add_po(top);
+  const auto cuts = enumerate_cuts(net);
+  // The port's only cut is trivial; the AND sees {s, a} but never {a, b, c...}.
+  EXPECT_EQ(cuts[s].size(), 1u);
+  EXPECT_TRUE(find_cut(cuts[top], {s, a}));
+  EXPECT_FALSE(find_cut(cuts[top], {a, b, c}));
+}
+
+TEST(CutEnumeration, MaxCutsTruncates) {
+  // A node over many reconvergent paths can have many cuts; max_cuts caps it.
+  Network net;
+  std::vector<NodeId> layer;
+  for (int i = 0; i < 6; ++i) {
+    layer.push_back(net.add_pi());
+  }
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); ++i) {
+      next.push_back(net.add_xor(layer[i], layer[i + 1]));
+    }
+    layer = next;
+  }
+  net.add_po(layer[0]);
+  CutEnumerationParams p;
+  p.cut_size = 4;
+  p.max_cuts = 3;
+  const auto cuts = enumerate_cuts(net, p);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (!net.is_dead(id)) {
+      EXPECT_LE(cuts[id].size(), p.max_cuts + 1);  // +1 for the trivial cut
+    }
+  }
+}
+
+TEST(CutEnumeration, DominatesRelation) {
+  Cut small{{1, 2}, TruthTable(2)};
+  Cut big{{1, 2, 3}, TruthTable(3)};
+  EXPECT_TRUE(small.dominates(big));
+  EXPECT_FALSE(big.dominates(small));
+}
+
+}  // namespace
+}  // namespace t1sfq

@@ -1,0 +1,90 @@
+#include "solver/diff_constraints.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1sfq {
+namespace {
+
+TEST(DiffConstraints, ChainAsap) {
+  DifferenceSystem d(3);
+  d.add(0, 1, 1);
+  d.add(1, 2, 1);
+  const auto x = d.solve_asap();
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], 0);
+  EXPECT_EQ((*x)[1], 1);
+  EXPECT_EQ((*x)[2], 2);
+  EXPECT_TRUE(d.satisfied_by(*x));
+}
+
+TEST(DiffConstraints, T1StyleOffsets) {
+  // sigma_T1 >= max(s1+3, s2+2, s3+1) for fanins at 0: result 3.
+  DifferenceSystem d(4);
+  d.add(0, 3, 3);
+  d.add(1, 3, 2);
+  d.add(2, 3, 1);
+  const auto x = d.solve_asap();
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[3], 3);
+}
+
+TEST(DiffConstraints, PositiveCycleInfeasible) {
+  DifferenceSystem d(2);
+  d.add(0, 1, 1);
+  d.add(1, 0, 1);  // x0 - x1 >= 1 and x1 - x0 >= 1: impossible
+  EXPECT_FALSE(d.solve_asap().has_value());
+}
+
+TEST(DiffConstraints, ZeroCycleFeasible) {
+  DifferenceSystem d(2);
+  d.add(0, 1, 0);
+  d.add(1, 0, 0);  // x0 == x1 allowed
+  const auto x = d.solve_asap();
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], (*x)[1]);
+}
+
+TEST(DiffConstraints, AlapPushesTowardDeadline) {
+  DifferenceSystem d(3);
+  d.add(0, 1, 1);
+  d.add(1, 2, 1);
+  const auto x = d.solve_alap(10);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[2], 10);
+  EXPECT_EQ((*x)[1], 9);
+  EXPECT_EQ((*x)[0], 8);
+  EXPECT_TRUE(d.satisfied_by(*x));
+}
+
+TEST(DiffConstraints, AlapInfeasibleWhenDeadlineTooTight) {
+  DifferenceSystem d(3);
+  d.add(0, 1, 5);
+  d.add(1, 2, 5);
+  EXPECT_FALSE(d.solve_alap(7).has_value());
+  EXPECT_TRUE(d.solve_alap(10).has_value());
+}
+
+TEST(DiffConstraints, AsapIsMinimal) {
+  // Every component of ASAP must be <= the corresponding ALAP component.
+  DifferenceSystem d(5);
+  d.add(0, 2, 2);
+  d.add(1, 2, 1);
+  d.add(2, 3, 1);
+  d.add(2, 4, 3);
+  const auto asap = d.solve_asap();
+  const auto alap = d.solve_alap(20);
+  ASSERT_TRUE(asap && alap);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_LE((*asap)[i], (*alap)[i]);
+  }
+}
+
+TEST(DiffConstraints, SatisfiedByRejectsViolations) {
+  DifferenceSystem d(2);
+  d.add(0, 1, 3);
+  EXPECT_FALSE(d.satisfied_by({0, 2}));
+  EXPECT_TRUE(d.satisfied_by({0, 3}));
+}
+
+}  // namespace
+}  // namespace t1sfq

@@ -1,0 +1,89 @@
+#include "core/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/arith.hpp"
+#include "core/flow.hpp"
+
+namespace t1sfq {
+namespace {
+
+FlowResult adder_flow(unsigned bits, bool use_t1) {
+  Network net;
+  const Word a = add_pi_word(net, bits, "a");
+  const Word b = add_pi_word(net, bits, "b");
+  add_po_word(net, ripple_carry_adder(net, a, b, net.get_const0()), "s");
+  FlowParams p;
+  p.clk.phases = 4;
+  p.use_t1 = use_t1;
+  return run_flow(net, p);
+}
+
+TEST(Energy, ReportsPositiveNumbers) {
+  const auto res = adder_flow(8, true);
+  const auto e = estimate_energy(res.physical, CellLibrary{}, AreaConfig{});
+  EXPECT_GT(e.dynamic_fj_per_cycle, 0.0);
+  EXPECT_GT(e.static_uw, 0.0);
+  EXPECT_GT(e.dynamic_uw, 0.0);
+  EXPECT_EQ(e.total_jj, res.metrics.area_jj);
+}
+
+TEST(Energy, T1FlowSavesEnergyWithTheArea) {
+  const auto base = adder_flow(16, false);
+  const auto t1 = adder_flow(16, true);
+  const CellLibrary lib;
+  const AreaConfig area;
+  const auto e_base = estimate_energy(base.physical, lib, area);
+  const auto e_t1 = estimate_energy(t1.physical, lib, area);
+  EXPECT_LT(e_t1.static_uw, e_base.static_uw);            // fewer biased JJs
+  EXPECT_LT(e_t1.dynamic_fj_per_cycle, e_base.dynamic_fj_per_cycle);
+}
+
+TEST(Energy, ScalesWithActivity) {
+  const auto res = adder_flow(8, false);
+  EnergyParams low;
+  low.activity = 0.1;
+  EnergyParams high;
+  high.activity = 0.9;
+  const auto e_low = estimate_energy(res.physical, CellLibrary{}, AreaConfig{}, low);
+  const auto e_high = estimate_energy(res.physical, CellLibrary{}, AreaConfig{}, high);
+  EXPECT_LT(e_low.dynamic_fj_per_cycle, e_high.dynamic_fj_per_cycle);
+  EXPECT_DOUBLE_EQ(e_low.static_uw, e_high.static_uw);  // static is activity-free
+}
+
+TEST(Energy, SwitchEnergyAnchor) {
+  // Ic*Phi0 at 0.1 mA is ~0.2 aJ per switch: a 1-switch netlist per cycle
+  // must land in that range. Use a single NOT gate network.
+  Network net;
+  const NodeId a = net.add_pi();
+  net.add_po(net.add_not(a));
+  FlowParams p;
+  p.clk.phases = 1;
+  p.use_t1 = false;
+  const auto res = run_flow(net, p);
+  EnergyParams ep;
+  ep.activity = 0.0;  // only clock switching
+  const auto e = estimate_energy(res.physical, CellLibrary{}, AreaConfig{}, ep);
+  // One clocked cell, 2 clock JJ switches/cycle: ~0.41 aJ = 4.1e-4 fJ.
+  EXPECT_NEAR(e.dynamic_fj_per_cycle, 2 * 1e-4 * 2.0678e-15 * 1e15, 1e-5);
+}
+
+TEST(Energy, MorePhasesReduceDffEnergy) {
+  Network net;
+  const Word a = add_pi_word(net, 12, "a");
+  const Word b = add_pi_word(net, 12, "b");
+  add_po_word(net, ripple_carry_adder(net, a, b, net.get_const0()), "s");
+  FlowParams p1;
+  p1.clk.phases = 1;
+  p1.use_t1 = false;
+  FlowParams p4;
+  p4.clk.phases = 4;
+  p4.use_t1 = false;
+  const auto e1 = estimate_energy(run_flow(net, p1).physical, CellLibrary{}, AreaConfig{});
+  const auto e4 = estimate_energy(run_flow(net, p4).physical, CellLibrary{}, AreaConfig{});
+  EXPECT_LT(e4.static_uw, e1.static_uw);
+  EXPECT_LT(e4.dynamic_fj_per_cycle, e1.dynamic_fj_per_cycle);
+}
+
+}  // namespace
+}  // namespace t1sfq

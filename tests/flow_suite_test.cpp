@@ -1,0 +1,104 @@
+/// End-to-end property tests: the full T1 flow on every (width-reduced)
+/// Table-I benchmark must preserve the function and produce hazard-free
+/// schedules, across phase counts and both baselines.
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/suite.hpp"
+#include "core/flow.hpp"
+#include "network/equivalence.hpp"
+#include "network/simulation.hpp"
+#include "sfq/pulse_sim.hpp"
+
+namespace t1sfq {
+namespace {
+
+struct SuiteCase {
+  std::size_t index;
+  unsigned phases;
+  bool use_t1;
+};
+
+class FlowSuite : public ::testing::TestWithParam<SuiteCase> {};
+
+TEST_P(FlowSuite, PreservesFunctionAndTiming) {
+  const auto [index, phases, use_t1] = GetParam();
+  const auto suite = bench::make_suite_scaled(8);
+  const auto& c = suite[index];
+  const Network net = c.generate();
+
+  FlowParams p;
+  p.clk.phases = phases;
+  p.use_t1 = use_t1;
+  const FlowResult res = run_flow(net, p);
+
+  // Function: random word-parallel simulation of the mapped network.
+  EXPECT_TRUE(random_simulation_equal(res.mapped, net, 8)) << c.name;
+  // Timing + function: pulse-level simulation of the physical netlist.
+  EXPECT_TRUE(pulse_verify(res.physical.net, res.physical.stage, p.clk, net, 1))
+      << c.name;
+  // Assignment is feasible under the paper's constraints.
+  EXPECT_TRUE(assignment_feasible(res.mapped, res.assignment.stage,
+                                  res.assignment.output_stage, p.clk))
+      << c.name;
+  // Metrics sanity.
+  EXPECT_EQ(res.metrics.num_dffs, res.physical.num_dffs);
+  if (use_t1) {
+    EXPECT_GE(res.metrics.t1_found, res.metrics.t1_used);
+  } else {
+    EXPECT_EQ(res.metrics.t1_used, 0u);
+  }
+}
+
+std::vector<SuiteCase> all_cases() {
+  std::vector<SuiteCase> cases;
+  for (std::size_t i = 0; i < 8; ++i) {
+    cases.push_back({i, 1, false});
+    cases.push_back({i, 4, false});
+    cases.push_back({i, 4, true});
+    cases.push_back({i, 6, true});
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<SuiteCase>& info) {
+  static const char* names[] = {"adder", "c7552", "c6288",  "sin",
+                                "voter", "square", "multiplier", "log2"};
+  return std::string(names[info.param.index]) + "_" + std::to_string(info.param.phases) +
+         "phi" + (info.param.use_t1 ? "_t1" : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOne, FlowSuite, ::testing::ValuesIn(all_cases()), case_name);
+
+TEST(FlowSlack, OutputSlackBoundedCostAndStillLegal) {
+  // Latency slack moves the balanced sink later. Internal spines may shrink,
+  // but every PO chain grows by at most ceil(slack/n) DFFs — the total can
+  // never exceed the tight schedule by more than that bound, and the result
+  // must stay timing-legal and functionally correct.
+  const auto suite = bench::make_suite_scaled(8);
+  const Network net = suite[3].generate();  // sin: multiplier chains
+  FlowParams p;
+  p.clk.phases = 4;
+  p.use_t1 = false;
+  const auto tight = run_flow(net, p);
+  p.output_slack = 8;
+  const auto slack = run_flow(net, p);
+  const std::size_t po_bound = net.num_pos() * ((8 + 3) / 4);
+  EXPECT_LE(slack.metrics.num_dffs, tight.metrics.num_dffs + po_bound);
+  EXPECT_GE(slack.metrics.depth_cycles, tight.metrics.depth_cycles);
+  EXPECT_TRUE(pulse_verify(slack.physical.net, slack.physical.stage, p.clk, net, 1));
+}
+
+TEST(FlowSlack, SlackNeverBreaksT1Flow) {
+  const auto suite = bench::make_suite_scaled(8);
+  const Network net = suite[0].generate();
+  FlowParams p;
+  p.clk.phases = 4;
+  p.use_t1 = true;
+  p.output_slack = 5;
+  const auto res = run_flow(net, p);
+  EXPECT_TRUE(pulse_verify(res.physical.net, res.physical.stage, p.clk, net, 1));
+}
+
+}  // namespace
+}  // namespace t1sfq

@@ -1,0 +1,197 @@
+#include "sfq/jj_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace t1sfq {
+namespace jj {
+namespace {
+
+TEST(JjSim, RcDischargeMatchesAnalytic) {
+  // Current step into an RC: v(t) = I*R*(1 - exp(-t/RC)).
+  Circuit c;
+  const int n = c.add_node();
+  const double r = 10.0, cap = 1e-12, i0 = 1e-4;
+  c.add_resistor(n, 0, r);
+  c.add_capacitor(n, 0, cap);
+  c.add_dc_bias(n, i0);
+  TransientParams p;
+  p.t_end = 50e-12;
+  p.dt = 0.02e-12;
+  const auto res = simulate(c, p);
+  ASSERT_TRUE(res.converged);
+  for (std::size_t k = 0; k < res.time.size(); k += 100) {
+    const double expect = i0 * r * (1.0 - std::exp(-res.time[k] / (r * cap)));
+    EXPECT_NEAR(res.node_voltage[n][k], expect, 0.03 * i0 * r) << "t=" << res.time[k];
+  }
+}
+
+TEST(JjSim, InductorCurrentRampsLinearly) {
+  // Voltage-ish source: current bias through R into L gives i_L -> I0 with
+  // time constant L/R.
+  Circuit c;
+  const int n = c.add_node();
+  const double r = 5.0, l = 10e-12, i0 = 1e-4;
+  c.add_resistor(n, 0, r);
+  c.add_inductor(n, 0, l);
+  c.add_dc_bias(n, i0);
+  TransientParams p;
+  p.t_end = 30e-12;
+  p.dt = 0.01e-12;
+  const auto res = simulate(c, p);
+  ASSERT_TRUE(res.converged);
+  // After >> L/R = 2 ps, the inductor shorts the node: v -> 0.
+  EXPECT_NEAR(res.node_voltage[n].back(), 0.0, 1e-6);
+}
+
+TEST(JjSim, SubcriticalBiasKeepsJunctionSuperconducting) {
+  Circuit c;
+  const int n = c.add_node();
+  JjParams jp;
+  const int j = c.add_jj(n, 0, jp);
+  c.add_dc_bias(n, 0.7 * jp.ic);
+  TransientParams p;
+  p.t_end = 100e-12;
+  const auto res = simulate(c, p);
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.pulse_count(j), 0u);               // no phase slips
+  EXPECT_LT(std::fabs(res.jj_phase[j].back()), kPi / 2);  // settled below sin^-1(0.7)+margin
+  EXPECT_NEAR(res.jj_phase[j].back(), std::asin(0.7), 0.05);
+}
+
+TEST(JjSim, OvercriticalBiasRunsFreely) {
+  // I > Ic: the junction enters the voltage state and slips continuously;
+  // RSJ theory gives V_dc = R*sqrt(I^2 - Ic^2) for negligible capacitance.
+  Circuit c;
+  const int n = c.add_node();
+  JjParams jp;
+  jp.c = 1e-15;  // nearly overdamped ideal RSJ
+  const int j = c.add_jj(n, 0, jp);
+  const double bias = 1.5 * jp.ic;
+  c.add_dc_bias(n, bias);
+  TransientParams p;
+  p.t_end = 200e-12;
+  p.dt = 0.01e-12;
+  const auto res = simulate(c, p);
+  ASSERT_TRUE(res.converged);
+  EXPECT_GT(res.pulse_count(j), 5u);
+  // Average voltage from phase slope over the second half of the run.
+  const std::size_t half = res.time.size() / 2;
+  const double dphi = res.jj_phase[j].back() - res.jj_phase[j][half];
+  const double dt = res.time.back() - res.time[half];
+  const double v_avg = dphi / dt * kPhi0 / (2 * kPi);
+  const double v_rsj = jp.r * std::sqrt(bias * bias - jp.ic * jp.ic);
+  EXPECT_NEAR(v_avg, v_rsj, 0.08 * v_rsj);
+}
+
+TEST(JjSim, PulseAreaIsOneFluxQuantum) {
+  // A triggered 2*pi slip transfers one flux quantum: integral v dt tracks
+  // phi0/(2*pi) * delta_phi, and delta_phi = 2*pi plus the static tilt
+  // (asin of the bias fraction) the junction returns to.
+  Circuit c;
+  const int n = c.add_node();
+  JjParams jp;
+  const int j = c.add_jj(n, 0, jp);
+  c.add_dc_bias(n, 0.7 * jp.ic);
+  c.add_pulse(n, 20e-12, 1.0 * jp.ic, 1e-12);  // trigger exactly one slip
+  TransientParams p;
+  p.t_end = 60e-12;
+  p.dt = 0.01e-12;
+  const auto res = simulate(c, p);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.pulse_count(j), 1u);
+  const double total = res.jj_phase[j].back() - res.jj_phase[j].front();
+  EXPECT_NEAR(total, 2 * kPi + std::asin(0.7), 0.4);
+  double flux = 0.0;
+  for (std::size_t k = 1; k < res.time.size(); ++k) {
+    flux += res.node_voltage[n][k] * (res.time[k] - res.time[k - 1]);
+  }
+  // Faraday consistency of the integrator: flux == phi0 * dphi / 2pi.
+  EXPECT_NEAR(flux, kPhi0 * total / (2 * kPi), 0.03 * kPhi0);
+  // ... and "one pulse ~ one flux quantum" in absolute terms.
+  EXPECT_GT(flux, 0.9 * kPhi0);
+  EXPECT_LT(flux, 1.3 * kPhi0);
+}
+
+TEST(JjSim, JtlPropagatesOnePulsePerStage) {
+  Jtl jtl = make_jtl(3);
+  jtl.circuit.add_pulse(jtl.input_node, 10e-12, 1.6e-4, 2e-12);
+  TransientParams p;
+  p.t_end = 80e-12;
+  p.dt = 0.02e-12;
+  const auto res = simulate(jtl.circuit, p);
+  ASSERT_TRUE(res.converged);
+  for (const int j : jtl.stage_junctions) {
+    EXPECT_EQ(res.pulse_count(j), 1u) << "junction " << j;
+  }
+  // Causality: pulses arrive in stage order.
+  for (std::size_t s = 1; s < jtl.stage_junctions.size(); ++s) {
+    EXPECT_GT(res.jj_pulses[jtl.stage_junctions[s]][0],
+              res.jj_pulses[jtl.stage_junctions[s - 1]][0]);
+  }
+}
+
+TEST(JjSim, JtlQuietWithoutInput) {
+  Jtl jtl = make_jtl(3);
+  TransientParams p;
+  p.t_end = 60e-12;
+  const auto res = simulate(jtl.circuit, p);
+  ASSERT_TRUE(res.converged);
+  for (const int j : jtl.stage_junctions) {
+    EXPECT_EQ(res.pulse_count(j), 0u);
+  }
+}
+
+TEST(JjSim, JtlTransmitsAPulseTrain) {
+  Jtl jtl = make_jtl(2);
+  jtl.circuit.add_pulse(jtl.input_node, 10e-12, 1.6e-4, 2e-12);
+  jtl.circuit.add_pulse(jtl.input_node, 40e-12, 1.6e-4, 2e-12);
+  jtl.circuit.add_pulse(jtl.input_node, 70e-12, 1.6e-4, 2e-12);
+  TransientParams p;
+  p.t_end = 110e-12;
+  p.dt = 0.02e-12;
+  const auto res = simulate(jtl.circuit, p);
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.pulse_count(jtl.stage_junctions.back()), 3u);
+}
+
+TEST(JjSim, StorageLoopHoldsAFluxQuantum) {
+  // Two junctions around a quantizing inductor: an input pulse writes one
+  // flux quantum into the loop (RS-flip-flop storage principle, Fig. 1a).
+  Circuit c;
+  const int in = c.add_node();
+  const int mid = c.add_node();
+  JjParams jp;
+  const int jwrite = c.add_jj(in, 0, jp);
+  (void)jwrite;
+  const double lq = 20e-12;  // beta_L ~ 6: strongly bistable loop
+  const int loop_l = c.add_inductor(in, mid, lq);
+  (void)loop_l;
+  const int jhold = c.add_jj(mid, 0, jp);
+  c.add_dc_bias(in, 0.3 * jp.ic);
+  c.add_pulse(in, 15e-12, 1.5 * jp.ic, 2e-12);
+  TransientParams p;
+  p.t_end = 80e-12;
+  p.dt = 0.02e-12;
+  const auto res = simulate(c, p);
+  ASSERT_TRUE(res.converged);
+  // The write junction (or loop) advances by 2*pi while the hold junction
+  // stays put: persistent current = stored flux.
+  const double phase_diff =
+      std::fabs(res.jj_phase[jwrite].back() - res.jj_phase[jhold].back());
+  EXPECT_GT(phase_diff, kPi);  // a quantum sits in the loop
+  EXPECT_EQ(res.pulse_count(jhold), 0u);
+}
+
+TEST(JjSim, BuilderValidation) {
+  Circuit c;
+  EXPECT_THROW(c.add_resistor(0, 5, 10.0), std::invalid_argument);
+  EXPECT_THROW(c.add_resistor(0, 0, -1.0), std::invalid_argument);
+  EXPECT_THROW(c.add_inductor(0, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_jtl(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jj
+}  // namespace t1sfq

@@ -1,0 +1,111 @@
+#include "network/mffc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace t1sfq {
+namespace {
+
+bool contains(const std::vector<NodeId>& v, NodeId x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(Mffc, SingleGateConeIsItself) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g = net.add_and(a, b);
+  net.add_po(g);
+  const auto cone = mffc(net, g, net.fanout_counts());
+  EXPECT_EQ(cone.size(), 1u);
+  EXPECT_TRUE(contains(cone, g));
+}
+
+TEST(Mffc, ChainIsFullyContained) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g1 = net.add_and(a, b);
+  const NodeId g2 = net.add_not(g1);
+  const NodeId g3 = net.add_or(g2, b);
+  net.add_po(g3);
+  const auto cone = mffc(net, g3, net.fanout_counts());
+  EXPECT_EQ(cone.size(), 3u);
+  EXPECT_TRUE(contains(cone, g1));
+  EXPECT_TRUE(contains(cone, g2));
+  EXPECT_TRUE(contains(cone, g3));
+}
+
+TEST(Mffc, SharedNodeExcluded) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId shared = net.add_and(a, b);
+  const NodeId g1 = net.add_not(shared);
+  const NodeId g2 = net.add_xor(shared, a);
+  net.add_po(g1);
+  net.add_po(g2);
+  // `shared` has two fanouts, so it is in neither MFFC.
+  const auto fo = net.fanout_counts();
+  const auto cone1 = mffc(net, g1, fo);
+  EXPECT_EQ(cone1.size(), 1u);
+  EXPECT_FALSE(contains(cone1, shared));
+  const auto cone2 = mffc(net, g2, fo);
+  EXPECT_EQ(cone2.size(), 1u);
+}
+
+TEST(Mffc, PoReferenceCountsAsFanout) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId inner = net.add_and(a, b);
+  const NodeId outer = net.add_not(inner);
+  net.add_po(inner);  // inner is also a primary output
+  net.add_po(outer);
+  const auto cone = mffc(net, outer, net.fanout_counts());
+  EXPECT_EQ(cone.size(), 1u);  // inner stays: the PO still needs it
+}
+
+TEST(Mffc, LeavesStopTheCone) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g1 = net.add_and(a, b);
+  const NodeId g2 = net.add_not(g1);
+  net.add_po(g2);
+  const auto cone = mffc(net, g2, net.fanout_counts(), {g1});
+  EXPECT_EQ(cone.size(), 1u);
+  EXPECT_FALSE(contains(cone, g1));
+}
+
+TEST(Mffc, PiRootIsEmpty) {
+  Network net;
+  const NodeId a = net.add_pi();
+  net.add_po(a);
+  EXPECT_TRUE(mffc(net, a, net.fanout_counts()).empty());
+}
+
+TEST(Mffc, FullAdderSumConeExcludesSharedXor) {
+  // In the classic FA structure, xor(a,b) feeds both sum and carry, so the
+  // sum's MFFC is only the top xor.
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId c = net.add_pi();
+  const NodeId axb = net.add_xor(a, b);
+  const NodeId sum = net.add_xor(axb, c);
+  const NodeId carry = net.add_or(net.add_and(a, b), net.add_and(axb, c));
+  net.add_po(sum);
+  net.add_po(carry);
+  const auto fo = net.fanout_counts();
+  const auto sum_cone = mffc(net, sum, fo);
+  EXPECT_EQ(sum_cone.size(), 1u);
+  // Carry's cone holds or + two ands (axb is shared with sum).
+  const auto carry_cone = mffc(net, carry, fo);
+  EXPECT_EQ(carry_cone.size(), 3u);
+  EXPECT_FALSE(contains(carry_cone, axb));
+}
+
+}  // namespace
+}  // namespace t1sfq

@@ -1,0 +1,114 @@
+#include "solver/milp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1sfq {
+namespace {
+
+TEST(Milp, LpIntegralSolutionPassesThrough) {
+  LinearProgram lp;
+  const int x = lp.add_variable(0.0, 10.0, 1.0);
+  lp.add_row({{x, 1.0}}, 3.0, kLpInfinity);
+  const auto sol = solve_milp(lp, {x});
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol.x[x], 3.0, 1e-6);
+}
+
+TEST(Milp, KnapsackBranchAndBound) {
+  // max 5a + 4b + 3c  s.t. 2a + 3b + c <= 5, binary — optimum 11 at a=1,c=1...
+  // actually a=1,b=0,c=1 gives value 8 weight 3; a=1,b=1 weight 5 value 9;
+  // check exact: enumerate: a,b,c in {0,1}: best is a=1,b=1,c=0 -> 9 (w=5);
+  // a=1,b=0,c=1 -> 8 (w=3); a=1,b=1,c=1 -> w=6 infeasible. Optimum = 9.
+  LinearProgram lp;
+  const int a = lp.add_variable(0.0, 1.0, -5.0);
+  const int b = lp.add_variable(0.0, 1.0, -4.0);
+  const int c = lp.add_variable(0.0, 1.0, -3.0);
+  lp.add_row({{a, 2.0}, {b, 3.0}, {c, 1.0}}, -kLpInfinity, 5.0);
+  const auto sol = solve_milp(lp, {a, b, c});
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -9.0, 1e-6);
+  EXPECT_NEAR(sol.x[a], 1.0, 1e-6);
+  EXPECT_NEAR(sol.x[b], 1.0, 1e-6);
+  EXPECT_NEAR(sol.x[c], 0.0, 1e-6);
+}
+
+TEST(Milp, FractionalLpGetsRounded) {
+  // min -x - y s.t. 2x + 2y <= 3, integers: LP optimum is fractional (1.5 sum),
+  // integer optimum is x + y = 1.
+  LinearProgram lp;
+  const int x = lp.add_variable(0.0, 10.0, -1.0);
+  const int y = lp.add_variable(0.0, 10.0, -1.0);
+  lp.add_row({{x, 2.0}, {y, 2.0}}, -kLpInfinity, 3.0);
+  const auto sol = solve_milp(lp, {x, y});
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -1.0, 1e-6);
+}
+
+TEST(Milp, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  LinearProgram lp;
+  const int x = lp.add_variable(0.0, 10.0, 1.0);
+  lp.add_row({{x, 1.0}}, 0.4, 0.6);
+  EXPECT_EQ(solve_milp(lp, {x}).status, MilpStatus::Infeasible);
+}
+
+TEST(Milp, MixedIntegerKeepsContinuousVars) {
+  // min y s.t. y >= x - 0.5, x integer >= 1.2 -> x = 2, y = 1.5.
+  LinearProgram lp;
+  const int x = lp.add_variable(1.2, 10.0, 0.0);
+  const int y = lp.add_variable(0.0, 10.0, 1.0);
+  lp.add_row({{y, 1.0}, {x, -1.0}}, -0.5, kLpInfinity);
+  const auto sol = solve_milp(lp, {x});
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(sol.x[y], 1.5, 1e-6);
+}
+
+TEST(Milp, CeilingLinearization) {
+  // The flow's DFF-count term: m >= ceil((sc - sa)/n) - 1 linearized as
+  // n*m >= sc - sa - n. With sc - sa forced to 9 and n = 4: m = ceil(9/4)-1 = 2.
+  LinearProgram lp;
+  const int sa = lp.add_variable(0.0, 100.0, 0.0);
+  const int sc = lp.add_variable(0.0, 100.0, 0.0);
+  const int m = lp.add_variable(0.0, 100.0, 1.0);
+  lp.add_row({{sc, 1.0}, {sa, -1.0}}, 9.0, 9.0);
+  lp.add_row({{m, 4.0}, {sc, -1.0}, {sa, 1.0}}, -4.0, kLpInfinity);
+  const auto sol = solve_milp(lp, {sa, sc, m});
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol.x[m], 2.0, 1e-6);
+}
+
+TEST(Milp, NodeLimitFailsSoft) {
+  // A small hard instance with a tiny node budget returns NodeLimit instead
+  // of hanging (or Optimal if solved within the budget).
+  LinearProgram lp;
+  std::vector<int> vars;
+  for (int i = 0; i < 10; ++i) {
+    vars.push_back(lp.add_variable(0.0, 1.0, (i % 2) ? -3.0 : -2.0));
+  }
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < 10; ++i) {
+    row.push_back({vars[i], 2.0 + (i % 3)});
+  }
+  lp.add_row(row, -kLpInfinity, 7.5);
+  MilpParams p;
+  p.max_nodes = 2;
+  const auto sol = solve_milp(lp, vars, p);
+  EXPECT_TRUE(sol.status == MilpStatus::NodeLimit || sol.status == MilpStatus::Optimal);
+  EXPECT_LE(sol.nodes_explored, 2u + 1);
+}
+
+TEST(Milp, EqualityWithIntegers) {
+  // 3x + 5y = 14, minimize x + y over nonnegative integers: x=3, y=1.
+  LinearProgram lp;
+  const int x = lp.add_variable(0.0, 20.0, 1.0);
+  const int y = lp.add_variable(0.0, 20.0, 1.0);
+  lp.add_row({{x, 3.0}, {y, 5.0}}, 14.0, 14.0);
+  const auto sol = solve_milp(lp, {x, y});
+  ASSERT_EQ(sol.status, MilpStatus::Optimal);
+  EXPECT_NEAR(sol.x[x], 3.0, 1e-6);
+  EXPECT_NEAR(sol.x[y], 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace t1sfq

@@ -1,0 +1,223 @@
+#include "network/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/simulation.hpp"
+
+namespace t1sfq {
+namespace {
+
+Network full_adder() {
+  Network net("fa");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("cin");
+  const NodeId axb = net.add_xor(a, b);
+  net.add_po(net.add_xor(axb, c), "sum");
+  net.add_po(net.add_or(net.add_and(a, b), net.add_and(axb, c)), "cout");
+  return net;
+}
+
+TEST(Network, PiPoBookkeeping) {
+  Network net;
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi();
+  EXPECT_EQ(net.num_pis(), 2u);
+  EXPECT_EQ(net.pi_name(0), "a");
+  EXPECT_EQ(net.pi_name(1), "x1");
+  net.add_po(net.add_and(a, b), "y");
+  EXPECT_EQ(net.num_pos(), 1u);
+  EXPECT_EQ(net.po_name(0), "y");
+}
+
+TEST(Network, StructuralHashingSharesGates) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g1 = net.add_and(a, b);
+  const NodeId g2 = net.add_and(b, a);  // commutative: same node
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(net.count_of(GateType::And2), 1u);
+}
+
+TEST(Network, DffsAreNeverShared) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId d1 = net.add_dff(a);
+  const NodeId d2 = net.add_dff(a);
+  EXPECT_NE(d1, d2);
+  EXPECT_EQ(net.count_of(GateType::Dff), 2u);
+}
+
+TEST(Network, ConstantFolding) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId c0 = net.get_const0();
+  const NodeId c1 = net.get_const1();
+  EXPECT_EQ(net.add_and(a, c0), c0);
+  EXPECT_EQ(net.add_and(a, c1), a);
+  EXPECT_EQ(net.add_or(a, c1), c1);
+  EXPECT_EQ(net.add_or(a, c0), a);
+  EXPECT_EQ(net.add_xor(a, c0), a);
+  EXPECT_EQ(net.add_xor(a, a), c0);
+  EXPECT_EQ(net.add_not(net.add_not(a)), a);
+}
+
+TEST(Network, ComplementFolding) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId na = net.add_not(a);
+  EXPECT_EQ(net.add_and(a, na), net.get_const0());
+  EXPECT_EQ(net.add_or(a, na), net.get_const1());
+  EXPECT_EQ(net.add_xor(a, na), net.get_const1());
+}
+
+TEST(Network, TernaryFolding) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  EXPECT_EQ(net.add_maj(a, a, b), a);
+  EXPECT_EQ(net.add_xor3(a, a, b), b);
+  EXPECT_EQ(net.add_maj(a, b, net.get_const0()), net.add_and(a, b));
+  EXPECT_EQ(net.add_maj(a, b, net.get_const1()), net.add_or(a, b));
+  EXPECT_EQ(net.add_gate(GateType::And3, {a, b, net.get_const1()}), net.add_and(a, b));
+  EXPECT_EQ(net.add_gate(GateType::Or3, {a, b, net.get_const0()}), net.add_or(a, b));
+}
+
+TEST(Network, BufIsTransparent) {
+  Network net;
+  const NodeId a = net.add_pi();
+  EXPECT_EQ(net.add_buf(a), a);
+}
+
+TEST(Network, WrongArityThrows) {
+  Network net;
+  const NodeId a = net.add_pi();
+  EXPECT_THROW(net.add_gate(GateType::And2, {a}), std::invalid_argument);
+  EXPECT_THROW(net.add_gate(GateType::Not, {a, a}), std::invalid_argument);
+}
+
+TEST(Network, LevelsOfChain) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g1 = net.add_and(a, b);
+  const NodeId g2 = net.add_not(g1);
+  const NodeId g3 = net.add_or(g2, a);
+  net.add_po(g3);
+  const auto lvl = net.levels();
+  EXPECT_EQ(lvl[a], 0u);
+  EXPECT_EQ(lvl[g1], 1u);
+  EXPECT_EQ(lvl[g2], 2u);
+  EXPECT_EQ(lvl[g3], 3u);
+  EXPECT_EQ(net.depth(), 3u);
+}
+
+TEST(Network, T1LevelFollowsEquation3) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId c = net.add_pi();
+  const NodeId t1 = net.add_t1(a, b, c);
+  net.add_po(net.add_t1_port(t1, T1PortFn::Sum));
+  const auto lvl = net.levels();
+  // All fanins at level 0: sigma >= max(0+3, 0+2, 0+1) = 3.
+  EXPECT_EQ(lvl[t1], 3u);
+}
+
+TEST(Network, T1PortsShareBody) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId c = net.add_pi();
+  const NodeId t1 = net.add_t1(a, b, c);
+  const NodeId s1 = net.add_t1_port(t1, T1PortFn::Sum);
+  const NodeId s2 = net.add_t1_port(t1, T1PortFn::Sum);
+  const NodeId cy = net.add_t1_port(t1, T1PortFn::Carry);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, cy);
+}
+
+TEST(Network, FanoutCounts) {
+  Network net = full_adder();
+  const auto counts = net.fanout_counts();
+  // PI a feeds xor(a,b) and and(a,b).
+  EXPECT_EQ(counts[net.pi(0)], 2u);
+  // The sum output node has exactly one fanout (the PO).
+  EXPECT_EQ(counts[net.po(0)], 1u);
+}
+
+TEST(Network, SubstituteRedirectsFanoutsAndPos) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g = net.add_and(a, b);
+  const NodeId h = net.add_or(a, b);
+  const NodeId top = net.add_xor(g, b);
+  net.add_po(g);
+  net.add_po(top);
+  net.substitute(g, h);
+  EXPECT_EQ(net.po(0), h);
+  EXPECT_EQ(net.node(top).fanin(0), std::min(h, b));
+}
+
+TEST(Network, SweepRemovesUnreachable) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId used = net.add_and(a, b);
+  const NodeId unused = net.add_or(a, b);
+  net.add_po(used);
+  const std::size_t died = net.sweep_dangling();
+  EXPECT_EQ(died, 1u);
+  EXPECT_TRUE(net.is_dead(unused));
+  EXPECT_FALSE(net.is_dead(used));
+  EXPECT_FALSE(net.is_dead(a));  // PIs always stay
+}
+
+TEST(Network, CleanupCompactsAndPreservesFunction) {
+  Network net = full_adder();
+  // Create garbage.
+  const NodeId junk = net.add_and(net.pi(0), net.pi(2));
+  (void)junk;
+  net.sweep_dangling();
+  const Network clean = net.cleanup();
+  EXPECT_LT(clean.size(), net.size());
+  EXPECT_TRUE(random_simulation_equal(net, clean));
+}
+
+TEST(Network, CleanupKeepsInterfaceNames) {
+  Network net = full_adder();
+  const Network clean = net.cleanup();
+  EXPECT_EQ(clean.pi_name(0), "a");
+  EXPECT_EQ(clean.po_name(1), "cout");
+}
+
+TEST(Network, GateArityAndClocking) {
+  EXPECT_EQ(gate_arity(GateType::Maj3), 3u);
+  EXPECT_EQ(gate_arity(GateType::Not), 1u);
+  EXPECT_EQ(gate_arity(GateType::Pi), 0u);
+  EXPECT_TRUE(is_clocked(GateType::And2));
+  EXPECT_TRUE(is_clocked(GateType::Dff));
+  EXPECT_TRUE(is_clocked(GateType::T1));
+  EXPECT_FALSE(is_clocked(GateType::Buf));
+  EXPECT_FALSE(is_clocked(GateType::T1Port));
+  EXPECT_FALSE(is_clocked(GateType::Pi));
+}
+
+TEST(Network, EvalWordMatchesSemantics) {
+  const uint64_t a = 0b1100, b = 0b1010, c = 0b1111;
+  EXPECT_EQ(Network::eval_word(GateType::And2, T1PortFn::Sum, a, b, 0) & 0xF, 0b1000u);
+  EXPECT_EQ(Network::eval_word(GateType::Maj3, T1PortFn::Sum, a, b, c) & 0xF, 0b1110u);
+  EXPECT_EQ(Network::eval_word(GateType::T1Port, T1PortFn::CarryN, a, b, c) & 0xF, 0b0001u);
+  EXPECT_EQ(Network::eval_word(GateType::T1Port, T1PortFn::Or, a, b, c) & 0xF, 0b1111u);
+}
+
+TEST(Network, CountGates) {
+  Network net = full_adder();
+  EXPECT_EQ(net.num_gates(), 5u);  // 2 xor, 2 and, 1 or
+  EXPECT_EQ(net.count_of(GateType::Xor2), 2u);
+}
+
+}  // namespace
+}  // namespace t1sfq

@@ -1,0 +1,114 @@
+#include "network/npn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace t1sfq {
+namespace {
+
+TEST(Npn, AndOrNandNorAreOneClass) {
+  const auto a = TruthTable::nth_var(2, 0);
+  const auto b = TruthTable::nth_var(2, 1);
+  const auto and2 = a & b;
+  EXPECT_TRUE(npn_equivalent(and2, a | b));
+  EXPECT_TRUE(npn_equivalent(and2, ~(a & b)));
+  EXPECT_TRUE(npn_equivalent(and2, ~(a | b)));
+  EXPECT_TRUE(npn_equivalent(and2, a & ~b));
+}
+
+TEST(Npn, XorAndXnorAreOneClass) {
+  const auto a = TruthTable::nth_var(2, 0);
+  const auto b = TruthTable::nth_var(2, 1);
+  EXPECT_TRUE(npn_equivalent(a ^ b, ~(a ^ b)));
+  EXPECT_FALSE(npn_equivalent(a ^ b, a & b));
+}
+
+TEST(Npn, Maj3ClassContainsMinority) {
+  EXPECT_TRUE(npn_equivalent(tt3::maj3(), tt3::minority3()));
+  EXPECT_FALSE(npn_equivalent(tt3::maj3(), tt3::xor3()));
+  EXPECT_FALSE(npn_equivalent(tt3::maj3(), tt3::or3()));
+}
+
+TEST(Npn, Or3ClassContainsAnd3) {
+  // AND3 = NOT OR3 with all inputs negated: same NPN class.
+  EXPECT_TRUE(npn_equivalent(tt3::or3(), tt3::and3()));
+  EXPECT_TRUE(npn_equivalent(tt3::or3(), tt3::nor3()));
+}
+
+TEST(Npn, CanonicalFormIsIdempotent) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 30; ++i) {
+    TruthTable f(3);
+    f.set_word(0, rng());
+    const auto c1 = npn_canonize(f).representative;
+    const auto c2 = npn_canonize(c1).representative;
+    EXPECT_EQ(c1, c2);
+  }
+}
+
+TEST(Npn, TransformReproducesRepresentative) {
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 20; ++i) {
+    TruthTable f(3);
+    f.set_word(0, rng());
+    const auto canon = npn_canonize(f);
+    // Re-apply the recorded transform manually.
+    TruthTable g = f;
+    for (unsigned v = 0; v < 3; ++v) {
+      if (canon.transform.input_neg[v]) {
+        g = g.flip_var(v);
+      }
+    }
+    g = g.permute(canon.transform.perm);
+    if (canon.transform.output_neg) {
+      g = ~g;
+    }
+    EXPECT_EQ(g, canon.representative);
+  }
+}
+
+TEST(Npn, RandomClassMembersShareRepresentative) {
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 10; ++i) {
+    TruthTable f(4);
+    f.set_word(0, rng());
+    const auto base = npn_canonize(f).representative;
+    // Apply a random NPN transform and re-canonize.
+    TruthTable g = f;
+    for (unsigned v = 0; v < 4; ++v) {
+      if (rng() & 1) {
+        g = g.flip_var(v);
+      }
+    }
+    g = g.swap_vars(rng() % 4, rng() % 4);
+    if (rng() & 1) {
+      g = ~g;
+    }
+    EXPECT_EQ(npn_canonize(g).representative, base);
+  }
+}
+
+TEST(Npn, PCanonizeSortsSymmetricFunctionsToThemselves) {
+  EXPECT_EQ(p_canonize(tt3::maj3()), tt3::maj3());
+  EXPECT_EQ(p_canonize(tt3::xor3()), tt3::xor3());
+}
+
+TEST(Npn, PCanonizeDiffersFromNpnForPolarity) {
+  const auto a = TruthTable::nth_var(2, 0);
+  const auto b = TruthTable::nth_var(2, 1);
+  // a & ~b is P-distinct from a & b but NPN-equivalent.
+  EXPECT_NE(p_canonize(a & ~b), p_canonize(a & b));
+  EXPECT_TRUE(npn_equivalent(a & ~b, a & b));
+}
+
+TEST(Npn, SixVarThrows) {
+  EXPECT_THROW(npn_canonize(TruthTable(6)), std::invalid_argument);
+}
+
+TEST(Npn, MismatchedVarCountsNotEquivalent) {
+  EXPECT_FALSE(npn_equivalent(TruthTable(2), TruthTable(3)));
+}
+
+}  // namespace
+}  // namespace t1sfq

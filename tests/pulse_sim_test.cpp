@@ -1,0 +1,205 @@
+#include "sfq/pulse_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/simulation.hpp"
+
+namespace t1sfq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// T1 state machine (paper Fig. 1b).
+// ---------------------------------------------------------------------------
+
+TEST(T1StateMachine, SinglePulseReadsOutSum) {
+  // Fig. 1b, first burst: one T pulse (a) then R: Q* on the pulse, S on R.
+  T1StateMachine fsm;
+  const auto r1 = fsm.on_t();
+  EXPECT_TRUE(r1.q_pulse);
+  EXPECT_FALSE(r1.c_pulse);
+  EXPECT_TRUE(fsm.state());
+  EXPECT_TRUE(fsm.on_r());   // S pulses
+  EXPECT_FALSE(fsm.state()); // loop reset
+}
+
+TEST(T1StateMachine, TwoPulsesEmitCarryAndNoSum) {
+  // Fig. 1b, second burst: a then b -> C* fires on the second pulse; R
+  // finds the loop empty, no S.
+  T1StateMachine fsm;
+  EXPECT_TRUE(fsm.on_t().q_pulse);
+  const auto r2 = fsm.on_t();
+  EXPECT_TRUE(r2.c_pulse);
+  EXPECT_FALSE(r2.q_pulse);
+  EXPECT_FALSE(fsm.state());
+  EXPECT_FALSE(fsm.on_r());
+}
+
+TEST(T1StateMachine, ThreePulsesEmitCarryAndSum) {
+  // Fig. 1b, third burst: a, b, c -> Q*, C*, Q*; R reads S (parity 1).
+  T1StateMachine fsm;
+  EXPECT_TRUE(fsm.on_t().q_pulse);
+  EXPECT_TRUE(fsm.on_t().c_pulse);
+  EXPECT_TRUE(fsm.on_t().q_pulse);
+  EXPECT_TRUE(fsm.on_r());
+}
+
+TEST(T1StateMachine, RejectedResetWhenEmpty) {
+  T1StateMachine fsm;
+  EXPECT_FALSE(fsm.on_r());  // JR rejects the pulse (Fig. 1a)
+  EXPECT_FALSE(fsm.state());
+}
+
+TEST(T1StateMachine, ParityOverLongTrains) {
+  T1StateMachine fsm;
+  for (int pulses = 0; pulses <= 8; ++pulses) {
+    fsm.reset();
+    for (int i = 0; i < pulses; ++i) {
+      fsm.on_t();
+    }
+    EXPECT_EQ(fsm.on_r(), pulses % 2 == 1) << pulses << " pulses";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled-netlist simulation.
+// ---------------------------------------------------------------------------
+
+/// Adder slice as a schedulable network: and/or/xor chain.
+Network small_net(std::vector<Stage>& stage, unsigned phases) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g1 = net.add_xor(a, b);
+  const NodeId g2 = net.add_and(a, b);
+  const NodeId g3 = net.add_or(g1, g2);
+  net.add_po(g3);
+  stage.assign(net.size(), 0);
+  stage[g1] = 1;
+  stage[g2] = 1;
+  stage[g3] = 2;
+  (void)phases;
+  return net;
+}
+
+TEST(PulseSim, LegalScheduleHasNoViolations) {
+  std::vector<Stage> stage;
+  const Network net = small_net(stage, 4);
+  const auto res = pulse_simulate(net, stage, MultiphaseConfig{4}, {true, false});
+  EXPECT_TRUE(res.ok());
+  EXPECT_TRUE(res.po_values[0]);  // xor(1,0) | and(1,0) = 1
+}
+
+TEST(PulseSim, GapBeyondWindowIsFlagged) {
+  std::vector<Stage> stage;
+  const Network net = small_net(stage, 4);
+  stage[net.po(0)] = 7;  // or-gate at stage 7, fanins at 1: gap 6 > 4
+  const auto res = pulse_simulate(net, stage, MultiphaseConfig{4}, {true, true});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violations[0].kind, ViolationKind::GapExceedsWindow);
+  EXPECT_FALSE(res.violations[0].describe().empty());
+}
+
+TEST(PulseSim, NonPositiveGapIsFlagged) {
+  std::vector<Stage> stage;
+  const Network net = small_net(stage, 4);
+  stage[net.po(0)] = 1;  // same stage as its fanins
+  const auto res = pulse_simulate(net, stage, MultiphaseConfig{4}, {true, true});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violations[0].kind, ViolationKind::NonPositiveGap);
+}
+
+Network t1_net(std::vector<Stage>& stage, Stage sa, Stage sb, Stage sc, Stage st1) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId c = net.add_pi();
+  const NodeId da = net.add_dff(a);
+  const NodeId db = net.add_dff(b);
+  const NodeId dc = net.add_dff(c);
+  const NodeId t1 = net.add_t1(da, db, dc);
+  net.add_po(net.add_t1_port(t1, T1PortFn::Sum));
+  net.add_po(net.add_t1_port(t1, T1PortFn::Carry));
+  net.add_po(net.add_t1_port(t1, T1PortFn::Or));
+  stage.assign(net.size(), 0);
+  stage[da] = sa;
+  stage[db] = sb;
+  stage[dc] = sc;
+  stage[t1] = st1;
+  return net;
+}
+
+TEST(PulseSim, T1WithDistinctSlotsComputesAllPorts) {
+  std::vector<Stage> stage;
+  const Network net = t1_net(stage, 1, 2, 3, 4);  // slots 3, 2, 1 before R at 4
+  const MultiphaseConfig clk{4};
+  for (unsigned m = 0; m < 8; ++m) {
+    const std::vector<bool> pis{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    const auto res = pulse_simulate(net, stage, clk, pis);
+    EXPECT_TRUE(res.ok()) << "minterm " << m;
+    const unsigned ones = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+    EXPECT_EQ(res.po_values[0], ones % 2 == 1);
+    EXPECT_EQ(res.po_values[1], ones >= 2);
+    EXPECT_EQ(res.po_values[2], ones >= 1);
+  }
+}
+
+TEST(PulseSim, T1InputCollisionDetected) {
+  // Two inputs at the same stage: the paper's data hazard (overlapping
+  // pulses read as one).
+  std::vector<Stage> stage;
+  const Network net = t1_net(stage, 2, 2, 3, 4);
+  const auto res = pulse_simulate(net, stage, MultiphaseConfig{4}, {true, true, false});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violations[0].kind, ViolationKind::T1InputCollision);
+}
+
+TEST(PulseSim, T1InputOutsideCycleDetected) {
+  // Inputs released >= n stages before the T1 clock are outside the safe
+  // window (the previous R pulse would interleave).
+  std::vector<Stage> stage;
+  const Network net = t1_net(stage, 1, 2, 3, 8);  // first input 7 stages early
+  const auto res = pulse_simulate(net, stage, MultiphaseConfig{4}, {true, false, false});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violations[0].kind, ViolationKind::T1InputOutsideCycle);
+}
+
+TEST(PulseSim, ConstantsAreTimingExempt) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId g = net.add_raw_gate(GateType::And2, {a, net.get_const1()});
+  net.add_po(g);
+  std::vector<Stage> stage(net.size(), 0);
+  stage[g] = 9;  // far from stage 0, but the constant has no pulse to park
+  const auto res = pulse_simulate(net, stage, MultiphaseConfig{4}, {true});
+  // The PI edge still violates; the constant edge must not add a second one.
+  std::size_t const_violations = 0;
+  for (const auto& v : res.violations) {
+    if (net.node(v.fanin).type == GateType::Const1) {
+      ++const_violations;
+    }
+  }
+  EXPECT_EQ(const_violations, 0u);
+}
+
+TEST(PulseSim, PulseVerifyAcceptsLegalSchedule) {
+  std::vector<Stage> stage;
+  const Network net = small_net(stage, 4);
+  Network golden;
+  const NodeId a = golden.add_pi();
+  const NodeId b = golden.add_pi();
+  golden.add_po(golden.add_or(a, b));  // xor|and == or
+  EXPECT_TRUE(pulse_verify(net, stage, MultiphaseConfig{4}, golden, 1));
+}
+
+TEST(PulseSim, PulseVerifyRejectsWrongGolden) {
+  std::vector<Stage> stage;
+  const Network net = small_net(stage, 4);
+  Network golden;
+  const NodeId a = golden.add_pi();
+  const NodeId b = golden.add_pi();
+  golden.add_po(golden.add_and(a, b));
+  EXPECT_FALSE(pulse_verify(net, stage, MultiphaseConfig{4}, golden, 1));
+}
+
+}  // namespace
+}  // namespace t1sfq

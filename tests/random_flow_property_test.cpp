@@ -1,0 +1,110 @@
+/// Property-based testing of the whole flow on randomly generated networks:
+/// for any random DAG of SFQ cells and any phase count, the flow must emit a
+/// functionally equivalent, timing-legal physical netlist whose DFF count
+/// matches the scheduler's plan (up to landing-DFF sharing).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/flow.hpp"
+#include "network/equivalence.hpp"
+#include "sfq/pulse_sim.hpp"
+
+namespace t1sfq {
+namespace {
+
+/// Random DAG over the SFQ cell vocabulary. Biased toward xor/and/or pairs so
+/// T1-matchable cones appear organically.
+Network random_network(uint64_t seed, unsigned num_pis, unsigned num_gates) {
+  std::mt19937_64 rng(seed);
+  Network net("rand" + std::to_string(seed));
+  std::vector<NodeId> pool;
+  for (unsigned i = 0; i < num_pis; ++i) {
+    pool.push_back(net.add_pi());
+  }
+  const auto pick = [&] { return pool[rng() % pool.size()]; };
+  for (unsigned g = 0; g < num_gates; ++g) {
+    NodeId n = kNullNode;
+    switch (rng() % 8) {
+      case 0: n = net.add_and(pick(), pick()); break;
+      case 1: n = net.add_or(pick(), pick()); break;
+      case 2:
+      case 3: n = net.add_xor(pick(), pick()); break;
+      case 4: n = net.add_not(pick()); break;
+      case 5: n = net.add_maj(pick(), pick(), pick()); break;
+      case 6: n = net.add_xor3(pick(), pick(), pick()); break;
+      case 7: n = net.add_nand(pick(), pick()); break;
+    }
+    pool.push_back(n);
+  }
+  // Outputs: a handful of the deepest nodes plus a random sample.
+  for (unsigned i = 0; i < 4 && i < pool.size(); ++i) {
+    net.add_po(pool[pool.size() - 1 - i]);
+  }
+  net.add_po(pool[rng() % pool.size()]);
+  return net;
+}
+
+struct RandomCase {
+  uint64_t seed;
+  unsigned phases;
+  bool use_t1;
+};
+
+class RandomFlow : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(RandomFlow, FlowInvariantsHold) {
+  const auto [seed, phases, use_t1] = GetParam();
+  const Network net = random_network(seed, 6 + seed % 5, 40 + seed % 60);
+
+  FlowParams p;
+  p.clk.phases = phases;
+  p.use_t1 = use_t1;
+  const FlowResult res = run_flow(net, p);
+
+  // 1. Function preserved (complete SAT proof: these are small networks).
+  EXPECT_EQ(check_equivalence(res.mapped, net).result, EquivalenceResult::Equivalent)
+      << "seed " << seed;
+
+  // 2. Schedule feasible and hazard-free under pulse-accurate simulation.
+  EXPECT_TRUE(assignment_feasible(res.mapped, res.assignment.stage,
+                                  res.assignment.output_stage, p.clk));
+  EXPECT_TRUE(pulse_verify(res.physical.net, res.physical.stage, p.clk, net, 1))
+      << "seed " << seed;
+
+  // 3. The physical DFF count never exceeds the scheduler's plan (sharing of
+  //    landing DFFs can only reduce it).
+  const auto plan = plan_dffs(res.mapped, res.assignment.stage,
+                              res.assignment.output_stage, p.clk);
+  EXPECT_LE(res.physical.num_dffs, static_cast<std::size_t>(plan.total_dffs()));
+
+  // 4. Every T1 body in the physical netlist obeys eq. 5 (distinct landings).
+  for (NodeId id = 0; id < res.physical.net.size(); ++id) {
+    const Node& n = res.physical.net.node(id);
+    if (n.dead || n.type != GateType::T1) continue;
+    const auto& st = res.physical.stage;
+    EXPECT_NE(st[n.fanin(0)], st[n.fanin(1)]);
+    EXPECT_NE(st[n.fanin(1)], st[n.fanin(2)]);
+    EXPECT_NE(st[n.fanin(0)], st[n.fanin(2)]);
+  }
+}
+
+std::vector<RandomCase> random_cases() {
+  std::vector<RandomCase> cases;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    cases.push_back({seed, 4, true});
+  }
+  for (uint64_t seed = 13; seed <= 18; ++seed) {
+    cases.push_back({seed, 1 + static_cast<unsigned>(seed % 7), false});
+  }
+  for (uint64_t seed = 19; seed <= 24; ++seed) {
+    cases.push_back({seed, 5 + static_cast<unsigned>(seed % 3), true});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlow, ::testing::ValuesIn(random_cases()));
+
+}  // namespace
+}  // namespace t1sfq

@@ -1,0 +1,97 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace t1sfq {
+namespace {
+
+FlowMetrics metrics(std::size_t dffs, uint64_t area, Stage depth, std::size_t found = 0,
+                    std::size_t used = 0) {
+  FlowMetrics m;
+  m.num_dffs = dffs;
+  m.area_jj = area;
+  m.depth_cycles = depth;
+  m.t1_found = found;
+  m.t1_used = used;
+  return m;
+}
+
+TableRow paper_adder_row() {
+  // The actual numbers from the paper's Table I, adder row.
+  TableRow r;
+  r.name = "adder";
+  r.single_phase = metrics(32768, 238419, 128);
+  r.multi_phase = metrics(7963, 64784, 32);
+  r.t1 = metrics(5958, 48844, 33, 127, 127);
+  return r;
+}
+
+TEST(Report, RatiosMatchThePaperRow) {
+  const auto s = summarize({paper_adder_row()});
+  // Paper's printed ratios for the adder: 0.18 / 0.75 (DFF), 0.20 / 0.75
+  // (area), 0.26 / 1.03 (depth).
+  EXPECT_NEAR(s.dff_ratio_vs_1phi, 0.18, 0.005);
+  EXPECT_NEAR(s.dff_ratio_vs_nphi, 0.75, 0.005);
+  EXPECT_NEAR(s.area_ratio_vs_1phi, 0.20, 0.005);
+  EXPECT_NEAR(s.area_ratio_vs_nphi, 0.75, 0.005);
+  EXPECT_NEAR(s.depth_ratio_vs_1phi, 0.26, 0.005);
+  EXPECT_NEAR(s.depth_ratio_vs_nphi, 1.03, 0.005);
+}
+
+TEST(Report, AverageIsMeanOfRowRatios) {
+  TableRow a = paper_adder_row();
+  TableRow b = a;
+  b.name = "other";
+  b.t1 = metrics(7963, 64784, 32);  // identical to the 4-phase baseline
+  const auto s = summarize({a, b});
+  EXPECT_NEAR(s.dff_ratio_vs_nphi, (0.748 + 1.0) / 2, 0.01);
+}
+
+TEST(Report, AggregateRatiosUseSums) {
+  TableRow small;
+  small.name = "tiny";
+  small.single_phase = metrics(10, 100, 4);
+  small.multi_phase = metrics(1, 50, 2);   // near-zero baseline
+  small.t1 = metrics(10, 60, 2);           // ratio 10x would skew the mean
+  TableRow big = paper_adder_row();
+  const auto s = summarize({small, big});
+  // Sum-based: (10 + 5958) / (1 + 7963).
+  EXPECT_NEAR(s.total_dff_ratio_vs_nphi, 5968.0 / 7964.0, 1e-6);
+  // The per-row mean is dominated by the 10x row.
+  EXPECT_GT(s.dff_ratio_vs_nphi, 5.0);
+}
+
+TEST(Report, EmptySummaryIsZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.dff_ratio_vs_1phi, 0.0);
+  EXPECT_EQ(s.total_area_ratio_vs_nphi, 0.0);
+}
+
+TEST(Report, PrintTableContainsAllColumns) {
+  std::ostringstream os;
+  print_table(os, {paper_adder_row()}, 4);
+  const std::string t = os.str();
+  EXPECT_NE(t.find("adder"), std::string::npos);
+  EXPECT_NE(t.find("127"), std::string::npos);     // found/used
+  EXPECT_NE(t.find("32768"), std::string::npos);   // DFF 1phi
+  EXPECT_NE(t.find("238419"), std::string::npos);  // area 1phi
+  EXPECT_NE(t.find("0.75"), std::string::npos);    // ratio
+  EXPECT_NE(t.find("Average"), std::string::npos);
+  EXPECT_NE(t.find("4phi"), std::string::npos);
+}
+
+TEST(Report, PrintTableHandlesZeroBaselines) {
+  TableRow r;
+  r.name = "degenerate";
+  r.single_phase = metrics(0, 0, 0);
+  r.multi_phase = metrics(0, 0, 0);
+  r.t1 = metrics(0, 0, 0);
+  std::ostringstream os;
+  print_table(os, {r}, 4);  // must not divide by zero
+  EXPECT_NE(os.str().find("degenerate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t1sfq

@@ -1,0 +1,224 @@
+#include "solver/sat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace t1sfq {
+namespace {
+
+TEST(Sat, EmptyFormulaIsSat) {
+  SatSolver s;
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(Sat, UnitClauses) {
+  SatSolver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({pos_lit(a)});
+  s.add_clause({neg_lit(b)});
+  ASSERT_EQ(s.solve(), SatResult::Sat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_FALSE(s.model_value(b));
+}
+
+TEST(Sat, ConflictingUnitsUnsat) {
+  SatSolver s;
+  const Var a = s.new_var();
+  s.add_clause({pos_lit(a)});
+  EXPECT_FALSE(s.add_clause({neg_lit(a)}));
+  EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, SimpleImplicationChain) {
+  SatSolver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(s.new_var());
+  }
+  for (int i = 0; i + 1 < 10; ++i) {
+    s.add_clause({neg_lit(v[i]), pos_lit(v[i + 1])});  // v_i -> v_{i+1}
+  }
+  s.add_clause({pos_lit(v[0])});
+  ASSERT_EQ(s.solve(), SatResult::Sat);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(s.model_value(v[i]));
+  }
+}
+
+TEST(Sat, XorChainSatisfiable) {
+  // x0 ^ x1 ^ ... parity constraints encoded as CNF remain satisfiable.
+  SatSolver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  // a ^ b ^ c = 1
+  s.add_clause({pos_lit(a), pos_lit(b), pos_lit(c)});
+  s.add_clause({pos_lit(a), neg_lit(b), neg_lit(c)});
+  s.add_clause({neg_lit(a), pos_lit(b), neg_lit(c)});
+  s.add_clause({neg_lit(a), neg_lit(b), pos_lit(c)});
+  ASSERT_EQ(s.solve(), SatResult::Sat);
+  EXPECT_TRUE(s.model_value(a) ^ s.model_value(b) ^ s.model_value(c));
+}
+
+TEST(Sat, TautologyIgnored) {
+  SatSolver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos_lit(a), neg_lit(a)}));
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+/// Pigeonhole principle PHP(n): n+1 pigeons into n holes — classically UNSAT
+/// and a canonical CDCL stress test.
+void add_php(SatSolver& s, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) {
+      x[p][h] = s.new_var();
+    }
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < holes; ++h) {
+      c.push_back(pos_lit(x[p][h]));
+    }
+    s.add_clause(c);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_clause({neg_lit(x[p1][h]), neg_lit(x[p2][h])});
+      }
+    }
+  }
+}
+
+TEST(Sat, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 6; ++holes) {
+    SatSolver s;
+    add_php(s, holes);
+    EXPECT_EQ(s.solve(), SatResult::Unsat) << "PHP(" << holes << ")";
+  }
+}
+
+TEST(Sat, PigeonholeExactFitSat) {
+  // n pigeons into n holes is satisfiable.
+  const int n = 5;
+  SatSolver s;
+  std::vector<std::vector<Var>> x(n, std::vector<Var>(n));
+  for (auto& row : x) {
+    for (auto& v : row) {
+      v = s.new_var();
+    }
+  }
+  for (int p = 0; p < n; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < n; ++h) {
+      c.push_back(pos_lit(x[p][h]));
+    }
+    s.add_clause(c);
+  }
+  for (int h = 0; h < n; ++h) {
+    for (int p1 = 0; p1 < n; ++p1) {
+      for (int p2 = p1 + 1; p2 < n; ++p2) {
+        s.add_clause({neg_lit(x[p1][h]), neg_lit(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(Sat, AssumptionsRestrictModels) {
+  SatSolver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({pos_lit(a), pos_lit(b)});
+  ASSERT_EQ(s.solve({neg_lit(a)}), SatResult::Sat);
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  ASSERT_EQ(s.solve({neg_lit(b)}), SatResult::Sat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(Sat, ContradictoryAssumptionsUnsat) {
+  SatSolver s;
+  const Var a = s.new_var();
+  s.add_clause({pos_lit(a)});
+  EXPECT_EQ(s.solve({neg_lit(a)}), SatResult::Unsat);
+  // The formula itself stays satisfiable.
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(Sat, SolveIsRepeatable) {
+  SatSolver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({pos_lit(a), pos_lit(b)});
+  s.add_clause({neg_lit(a), pos_lit(b)});
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_TRUE(s.model_value(b));
+  }
+}
+
+TEST(Sat, IncrementalClauseAddition) {
+  SatSolver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({pos_lit(a), pos_lit(b)});
+  ASSERT_EQ(s.solve(), SatResult::Sat);
+  s.add_clause({neg_lit(a)});
+  ASSERT_EQ(s.solve(), SatResult::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  s.add_clause({neg_lit(b)});
+  EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown) {
+  SatSolver s;
+  add_php(s, 8);  // hard instance
+  EXPECT_EQ(s.solve({}, 10), SatResult::Unknown);
+}
+
+TEST(Sat, RandomThreeSatModelsAreValid) {
+  std::mt19937_64 rng(42);
+  for (int inst = 0; inst < 20; ++inst) {
+    SatSolver s;
+    const int nv = 30;
+    std::vector<Var> v;
+    for (int i = 0; i < nv; ++i) {
+      v.push_back(s.new_var());
+    }
+    // Low clause/var ratio: almost surely satisfiable.
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < 60; ++c) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k) {
+        const Var var = v[rng() % nv];
+        cl.push_back(rng() & 1 ? pos_lit(var) : neg_lit(var));
+      }
+      clauses.push_back(cl);
+      s.add_clause(cl);
+    }
+    if (s.solve() == SatResult::Sat) {
+      for (const auto& cl : clauses) {
+        bool sat = false;
+        for (const Lit l : cl) {
+          sat |= s.model_value(lit_var(l)) ^ lit_sign(l);
+        }
+        EXPECT_TRUE(sat) << "model violates a clause";
+      }
+    }
+  }
+}
+
+TEST(Sat, StatsAreTracked) {
+  SatSolver s;
+  add_php(s, 5);
+  s.solve();
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().propagations, 0u);
+}
+
+}  // namespace
+}  // namespace t1sfq

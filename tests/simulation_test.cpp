@@ -1,0 +1,126 @@
+#include "network/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace t1sfq {
+namespace {
+
+Network full_adder() {
+  Network net("fa");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("cin");
+  const NodeId axb = net.add_xor(a, b);
+  net.add_po(net.add_xor(axb, c), "sum");
+  net.add_po(net.add_or(net.add_and(a, b), net.add_and(axb, c)), "cout");
+  return net;
+}
+
+TEST(Simulation, FullAdderTruthTable) {
+  const Network net = full_adder();
+  for (unsigned m = 0; m < 8; ++m) {
+    const bool a = m & 1, b = m & 2, c = m & 4;
+    const auto out = simulate(net, {a, b, c});
+    const unsigned total = unsigned(a) + unsigned(b) + unsigned(c);
+    EXPECT_EQ(out[0], (total & 1) != 0) << "minterm " << m;
+    EXPECT_EQ(out[1], total >= 2) << "minterm " << m;
+  }
+}
+
+TEST(Simulation, WordParallelMatchesBitwise) {
+  const Network net = full_adder();
+  // All 8 minterms in parallel via projection words.
+  const std::vector<uint64_t> pis = {0xaa, 0xcc, 0xf0};
+  const auto out = simulate_words(net, pis);
+  EXPECT_EQ(out[0] & 0xff, 0x96u);  // XOR3
+  EXPECT_EQ(out[1] & 0xff, 0xe8u);  // MAJ3
+}
+
+TEST(Simulation, TruthTablesOfFullAdder) {
+  const Network net = full_adder();
+  const auto tts = simulate_truth_tables(net);
+  ASSERT_EQ(tts.size(), 2u);
+  EXPECT_EQ(tts[0], tt3::xor3());
+  EXPECT_EQ(tts[1], tt3::maj3());
+}
+
+TEST(Simulation, T1PortsEvaluateTheirFunctions) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId c = net.add_pi();
+  const NodeId t1 = net.add_t1(a, b, c);
+  net.add_po(net.add_t1_port(t1, T1PortFn::Sum));
+  net.add_po(net.add_t1_port(t1, T1PortFn::Carry));
+  net.add_po(net.add_t1_port(t1, T1PortFn::Or));
+  net.add_po(net.add_t1_port(t1, T1PortFn::CarryN));
+  net.add_po(net.add_t1_port(t1, T1PortFn::OrN));
+  const auto tts = simulate_truth_tables(net);
+  EXPECT_EQ(tts[0], tt3::xor3());
+  EXPECT_EQ(tts[1], tt3::maj3());
+  EXPECT_EQ(tts[2], tt3::or3());
+  EXPECT_EQ(tts[3], tt3::minority3());
+  EXPECT_EQ(tts[4], tt3::nor3());
+}
+
+TEST(Simulation, DffIsLogicallyTransparent) {
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId g = net.add_and(a, b);
+  net.add_po(net.add_dff(net.add_dff(g)));
+
+  Network ref;
+  const NodeId ra = ref.add_pi();
+  const NodeId rb = ref.add_pi();
+  ref.add_po(ref.add_and(ra, rb));
+  EXPECT_TRUE(random_simulation_equal(net, ref));
+}
+
+TEST(Simulation, ConstantsEvaluate) {
+  Network net;
+  (void)net.add_pi();
+  net.add_po(net.get_const0());
+  net.add_po(net.get_const1());
+  const auto out = simulate(net, {true});
+  EXPECT_FALSE(out[0]);
+  EXPECT_TRUE(out[1]);
+}
+
+TEST(Simulation, WrongPiCountThrows) {
+  const Network net = full_adder();
+  EXPECT_THROW(simulate_words(net, {0, 0}), std::invalid_argument);
+}
+
+TEST(Simulation, RandomEqualDetectsDifference) {
+  Network a = full_adder();
+  Network b;  // same interface, cout implemented wrong (AND only)
+  const NodeId x = b.add_pi();
+  const NodeId y = b.add_pi();
+  const NodeId z = b.add_pi();
+  b.add_po(b.add_xor(b.add_xor(x, y), z));
+  b.add_po(b.add_and(x, y));
+  EXPECT_FALSE(random_simulation_equal(a, b));
+}
+
+TEST(Simulation, RandomEqualAcceptsEquivalentStructures) {
+  Network a = full_adder();
+  Network b;  // maj-based carry
+  const NodeId x = b.add_pi();
+  const NodeId y = b.add_pi();
+  const NodeId z = b.add_pi();
+  b.add_po(b.add_xor3(x, y, z));
+  b.add_po(b.add_maj(x, y, z));
+  EXPECT_TRUE(random_simulation_equal(a, b));
+}
+
+TEST(Simulation, InterfaceMismatchIsNotEqual) {
+  Network a = full_adder();
+  Network b;
+  b.add_pi();
+  b.add_po(b.get_const0());
+  EXPECT_FALSE(random_simulation_equal(a, b));
+}
+
+}  // namespace
+}  // namespace t1sfq

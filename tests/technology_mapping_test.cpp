@@ -1,0 +1,216 @@
+#include "network/technology_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/flow.hpp"
+#include "network/equivalence.hpp"
+#include "network/simulation.hpp"
+
+namespace t1sfq {
+namespace {
+
+/// Compares AIG and mapped-network outputs on random word vectors.
+bool mapping_equivalent(const Aig& aig, const Network& net, unsigned rounds = 8,
+                        uint64_t seed = 0xfeed) {
+  if (aig.num_pis() != net.num_pis() || aig.num_pos() != net.num_pos()) {
+    return false;
+  }
+  std::mt19937_64 rng(seed);
+  for (unsigned r = 0; r < rounds; ++r) {
+    std::vector<uint64_t> pis(aig.num_pis());
+    for (auto& w : pis) {
+      w = rng();
+    }
+    const auto aig_values = aig.simulate_words(pis);
+    const auto net_out = simulate_words(net, pis);
+    for (std::size_t p = 0; p < aig.num_pos(); ++p) {
+      const auto po = aig.pos()[p];
+      const uint64_t expect = Aig::lit_compl(po) ? ~aig_values[Aig::lit_node(po)]
+                                                 : aig_values[Aig::lit_node(po)];
+      if (net_out[p] != expect) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(TechMapping, SingleAndGate) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  aig.add_po(aig.add_and(a, b));
+  const Network net = map_to_sfq(aig);
+  EXPECT_EQ(net.count_of(GateType::And2), 1u);
+  EXPECT_TRUE(mapping_equivalent(aig, net));
+}
+
+TEST(TechMapping, NandMapsToOneCell) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  aig.add_po(Aig::lit_not(aig.add_and(a, b)));
+  const Network net = map_to_sfq(aig);
+  // One NAND cell beats AND + NOT.
+  EXPECT_EQ(net.count_of(GateType::Nand2), 1u);
+  EXPECT_EQ(net.count_of(GateType::Not), 0u);
+  EXPECT_TRUE(mapping_equivalent(aig, net));
+}
+
+TEST(TechMapping, XorCollapsesToOneCell) {
+  // Three AIG ands collapse into a single XOR2 cell via the 2-leaf cut.
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  aig.add_po(aig.add_xor(a, b));
+  const Network net = map_to_sfq(aig);
+  EXPECT_EQ(net.count_of(GateType::Xor2), 1u);
+  EXPECT_EQ(net.num_gates(), 1u);
+  EXPECT_TRUE(mapping_equivalent(aig, net));
+}
+
+TEST(TechMapping, MajMapsToMaj3) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  const auto c = aig.add_pi();
+  aig.add_po(aig.add_maj(a, b, c));
+  const Network net = map_to_sfq(aig);
+  EXPECT_EQ(net.count_of(GateType::Maj3), 1u);
+  EXPECT_TRUE(mapping_equivalent(aig, net));
+}
+
+TEST(TechMapping, Xor3MapsToOneCell) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  const auto c = aig.add_pi();
+  aig.add_po(aig.add_xor(aig.add_xor(a, b), c));
+  const Network net = map_to_sfq(aig);
+  EXPECT_EQ(net.count_of(GateType::Xor3), 1u);
+  EXPECT_TRUE(mapping_equivalent(aig, net));
+}
+
+TEST(TechMapping, MuxNeedsDecomposition) {
+  // ITE is not in the cell library: the mapper falls back to smaller cuts.
+  Aig aig;
+  const auto s = aig.add_pi();
+  const auto t = aig.add_pi();
+  const auto e = aig.add_pi();
+  aig.add_po(aig.add_mux(s, t, e));
+  const Network net = map_to_sfq(aig);
+  EXPECT_GE(net.num_gates(), 2u);
+  EXPECT_TRUE(mapping_equivalent(aig, net));
+}
+
+TEST(TechMapping, ComplementedPoGetsInverter) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  const auto g = aig.add_and(a, b);
+  aig.add_po(g);
+  aig.add_po(Aig::lit_not(g));
+  const Network net = map_to_sfq(aig);
+  EXPECT_TRUE(mapping_equivalent(aig, net));
+}
+
+TEST(TechMapping, ConstantPo) {
+  Aig aig;
+  (void)aig.add_pi();
+  aig.add_po(Aig::kFalse);
+  aig.add_po(Aig::kTrue);
+  const Network net = map_to_sfq(aig);
+  const auto out = simulate(net, {true});
+  EXPECT_FALSE(out[0]);
+  EXPECT_TRUE(out[1]);
+}
+
+TEST(TechMapping, StatsAreReported) {
+  Aig aig;
+  const auto a = aig.add_pi();
+  const auto b = aig.add_pi();
+  const auto c = aig.add_pi();
+  aig.add_po(aig.add_maj(a, b, c));
+  aig.add_po(aig.add_xor(a, b));
+  TechMappingStats stats;
+  const Network net = map_to_sfq(aig, {}, &stats);
+  EXPECT_EQ(stats.cells, net.num_gates() - net.count_of(GateType::Not));
+  EXPECT_EQ(stats.area_jj, raw_gate_area(net, CellLibrary{}));
+}
+
+TEST(TechMapping, RandomAigsMapCorrectly) {
+  std::mt19937_64 rng(101);
+  for (int iter = 0; iter < 25; ++iter) {
+    Aig aig;
+    std::vector<Aig::Lit> pool;
+    const unsigned num_pis = 4 + rng() % 5;
+    for (unsigned i = 0; i < num_pis; ++i) {
+      pool.push_back(aig.add_pi());
+    }
+    for (unsigned g = 0; g < 40; ++g) {
+      Aig::Lit x = pool[rng() % pool.size()];
+      Aig::Lit y = pool[rng() % pool.size()];
+      if (rng() & 1) x = Aig::lit_not(x);
+      if (rng() & 1) y = Aig::lit_not(y);
+      pool.push_back(aig.add_and(x, y));
+    }
+    for (int p = 0; p < 4; ++p) {
+      Aig::Lit po = pool[pool.size() - 1 - p];
+      if (rng() & 1) po = Aig::lit_not(po);
+      aig.add_po(po);
+    }
+    const Network net = map_to_sfq(aig);
+    EXPECT_TRUE(mapping_equivalent(aig, net)) << "iter " << iter;
+  }
+}
+
+TEST(TechMapping, MappedAigFeedsTheT1Flow) {
+  // End-to-end synthesis: AIG adder -> mapped SFQ cells -> T1 flow.
+  Aig aig("aig_adder");
+  const unsigned bits = 6;
+  std::vector<Aig::Lit> a, b;
+  for (unsigned i = 0; i < bits; ++i) a.push_back(aig.add_pi());
+  for (unsigned i = 0; i < bits; ++i) b.push_back(aig.add_pi());
+  Aig::Lit carry = Aig::kFalse;
+  for (unsigned i = 0; i < bits; ++i) {
+    aig.add_po(aig.add_xor(aig.add_xor(a[i], b[i]), carry));
+    carry = aig.add_maj(a[i], b[i], carry);
+  }
+  aig.add_po(carry);
+
+  const Network net = map_to_sfq(aig);
+  ASSERT_TRUE(mapping_equivalent(aig, net));
+
+  FlowParams p;
+  p.clk.phases = 4;
+  p.use_t1 = true;
+  const FlowResult res = run_flow(net, p);
+  EXPECT_GT(res.metrics.t1_used, 0u);
+  EXPECT_EQ(check_equivalence(res.mapped, net).result, EquivalenceResult::Equivalent);
+}
+
+TEST(TechMapping, BiggerCutsNeverIncreaseArea) {
+  Aig aig;
+  std::vector<Aig::Lit> pool;
+  for (int i = 0; i < 6; ++i) pool.push_back(aig.add_pi());
+  std::mt19937_64 rng(7);
+  for (int g = 0; g < 60; ++g) {
+    pool.push_back(aig.add_and(pool[rng() % pool.size()],
+                               Aig::lit_not(pool[rng() % pool.size()])));
+  }
+  aig.add_po(pool.back());
+  aig.add_po(pool[pool.size() - 2]);
+  TechMappingParams small;
+  small.cut_size = 2;
+  TechMappingParams big;
+  big.cut_size = 3;
+  TechMappingStats s_small, s_big;
+  (void)map_to_sfq(aig, small, &s_small);
+  (void)map_to_sfq(aig, big, &s_big);
+  EXPECT_LE(s_big.area_jj, s_small.area_jj);
+}
+
+}  // namespace
+}  // namespace t1sfq

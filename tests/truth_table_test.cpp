@@ -1,0 +1,216 @@
+#include "network/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace t1sfq {
+namespace {
+
+TEST(TruthTable, ConstantZeroByDefault) {
+  TruthTable tt(3);
+  EXPECT_EQ(tt.num_vars(), 3u);
+  EXPECT_EQ(tt.num_bits(), 8u);
+  EXPECT_TRUE(tt.is_const0());
+  EXPECT_FALSE(tt.is_const1());
+}
+
+TEST(TruthTable, ConstantOne) {
+  const auto tt = TruthTable::constant(4, true);
+  EXPECT_TRUE(tt.is_const1());
+  EXPECT_EQ(tt.count_ones(), 16u);
+}
+
+TEST(TruthTable, TooManyVarsThrows) {
+  EXPECT_THROW(TruthTable(17), std::invalid_argument);
+}
+
+TEST(TruthTable, NthVarSmall) {
+  const auto x0 = TruthTable::nth_var(3, 0);
+  const auto x1 = TruthTable::nth_var(3, 1);
+  const auto x2 = TruthTable::nth_var(3, 2);
+  EXPECT_EQ(x0.to_hex(), "aa");
+  EXPECT_EQ(x1.to_hex(), "cc");
+  EXPECT_EQ(x2.to_hex(), "f0");
+}
+
+TEST(TruthTable, NthVarLarge) {
+  // Variable 7 on 8 vars: bit i set iff bit 7 of i is set.
+  const auto x7 = TruthTable::nth_var(8, 7);
+  EXPECT_FALSE(x7.get_bit(0));
+  EXPECT_FALSE(x7.get_bit(127));
+  EXPECT_TRUE(x7.get_bit(128));
+  EXPECT_TRUE(x7.get_bit(255));
+  EXPECT_EQ(x7.count_ones(), 128u);
+}
+
+TEST(TruthTable, FromHexRoundTrip) {
+  const auto maj = TruthTable::from_hex(3, "e8");
+  EXPECT_EQ(maj.to_hex(), "e8");
+  EXPECT_EQ(maj.to_binary(), "11101000");
+  const auto big = TruthTable::from_hex(7, "0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(big.to_hex(), "0123456789abcdef0123456789abcdef");
+}
+
+TEST(TruthTable, FromBinary) {
+  const auto and2 = TruthTable::from_binary("1000");
+  EXPECT_TRUE(and2.get_bit(3));
+  EXPECT_FALSE(and2.get_bit(0));
+  EXPECT_FALSE(and2.get_bit(1));
+  EXPECT_FALSE(and2.get_bit(2));
+  EXPECT_THROW(TruthTable::from_binary("101"), std::invalid_argument);
+}
+
+TEST(TruthTable, BooleanOperations) {
+  const auto a = TruthTable::nth_var(2, 0);
+  const auto b = TruthTable::nth_var(2, 1);
+  EXPECT_EQ((a & b).to_binary(), "1000");
+  EXPECT_EQ((a | b).to_binary(), "1110");
+  EXPECT_EQ((a ^ b).to_binary(), "0110");
+  EXPECT_EQ((~a).to_binary(), "0101");
+}
+
+TEST(TruthTable, NotMasksExcessBits) {
+  TruthTable tt(2);
+  const auto inv = ~tt;
+  EXPECT_TRUE(inv.is_const1());
+  EXPECT_EQ(inv.count_ones(), 4u);  // not 64
+}
+
+TEST(TruthTable, MajAndIte) {
+  const auto a = TruthTable::nth_var(3, 0);
+  const auto b = TruthTable::nth_var(3, 1);
+  const auto c = TruthTable::nth_var(3, 2);
+  EXPECT_EQ(TruthTable::maj(a, b, c), tt3::maj3());
+  EXPECT_EQ((a ^ b ^ c), tt3::xor3());
+  EXPECT_EQ((a | b | c), tt3::or3());
+  EXPECT_EQ(TruthTable::ite(a, b, c).to_hex(), "d8");
+}
+
+TEST(TruthTable, NamedFunctions) {
+  EXPECT_EQ(tt3::xor3().to_hex(), "96");
+  EXPECT_EQ(tt3::xnor3(), ~tt3::xor3());
+  EXPECT_EQ(tt3::minority3(), ~tt3::maj3());
+  EXPECT_EQ(tt3::nor3(), ~tt3::or3());
+  EXPECT_EQ(tt3::and3().count_ones(), 1u);
+}
+
+TEST(TruthTable, CofactorsOfMaj) {
+  const auto maj = tt3::maj3();
+  // maj(1, b, c) = b | c ; maj(0, b, c) = b & c.
+  const auto pos = maj.cofactor(0, true);
+  const auto neg = maj.cofactor(0, false);
+  const auto b = TruthTable::nth_var(3, 1);
+  const auto c = TruthTable::nth_var(3, 2);
+  EXPECT_EQ(pos, b | c);
+  EXPECT_EQ(neg, b & c);
+}
+
+TEST(TruthTable, CofactorLargeVar) {
+  const auto f = TruthTable::nth_var(8, 7) & TruthTable::nth_var(8, 0);
+  EXPECT_EQ(f.cofactor(7, true), TruthTable::nth_var(8, 0));
+  EXPECT_TRUE(f.cofactor(7, false).is_const0());
+}
+
+TEST(TruthTable, HasVarAndSupport) {
+  const auto f = TruthTable::nth_var(4, 1) ^ TruthTable::nth_var(4, 3);
+  EXPECT_FALSE(f.has_var(0));
+  EXPECT_TRUE(f.has_var(1));
+  EXPECT_FALSE(f.has_var(2));
+  EXPECT_TRUE(f.has_var(3));
+  EXPECT_EQ(f.support_size(), 2u);
+}
+
+TEST(TruthTable, ShrinkToSupport) {
+  const auto f = TruthTable::nth_var(4, 1) & TruthTable::nth_var(4, 3);
+  const auto g = f.shrink_to_support();
+  EXPECT_EQ(g.num_vars(), 2u);
+  EXPECT_EQ(g.to_binary(), "1000");  // AND2
+}
+
+TEST(TruthTable, SwapVars) {
+  // f = a & ~b; swapping a,b gives ~a & b.
+  const auto a = TruthTable::nth_var(2, 0);
+  const auto b = TruthTable::nth_var(2, 1);
+  const auto f = a & ~b;
+  EXPECT_EQ(f.swap_vars(0, 1), ~a & b);
+}
+
+TEST(TruthTable, FlipVar) {
+  const auto a = TruthTable::nth_var(2, 0);
+  const auto b = TruthTable::nth_var(2, 1);
+  EXPECT_EQ((a & b).flip_var(0), ~a & b);
+}
+
+TEST(TruthTable, SymmetryDetection) {
+  EXPECT_TRUE(tt3::xor3().is_totally_symmetric());
+  EXPECT_TRUE(tt3::maj3().is_totally_symmetric());
+  EXPECT_TRUE(tt3::or3().is_totally_symmetric());
+  EXPECT_TRUE(tt3::and3().is_totally_symmetric());
+  const auto asym = TruthTable::nth_var(3, 0) & ~TruthTable::nth_var(3, 1);
+  EXPECT_FALSE(asym.is_totally_symmetric());
+}
+
+TEST(TruthTable, PermuteIdentityAndRotation) {
+  const auto f = TruthTable::from_hex(3, "d8");  // ite(a, b, c)
+  EXPECT_EQ(f.permute({0, 1, 2}), f);
+  // Rotating inputs of a symmetric function is a no-op.
+  EXPECT_EQ(tt3::maj3().permute({1, 2, 0}), tt3::maj3());
+}
+
+TEST(TruthTable, ExtendKeepsFunction) {
+  const auto f = tt3::maj3();
+  const auto g = f.extend_to(5);
+  EXPECT_EQ(g.num_vars(), 5u);
+  EXPECT_EQ(g.support_size(), 3u);
+  EXPECT_EQ(g.shrink_to_support(), f);
+}
+
+TEST(TruthTable, OrderingIsTotal) {
+  const auto a = tt3::maj3();
+  const auto b = tt3::xor3();
+  EXPECT_TRUE((a < b) != (b < a) || a == b);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(TruthTable, HashDistinguishesFunctions) {
+  EXPECT_NE(tt3::maj3().hash(), tt3::xor3().hash());
+  EXPECT_EQ(tt3::maj3().hash(), TruthTable::from_hex(3, "e8").hash());
+}
+
+class TruthTableRandomOps : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TruthTableRandomOps, DeMorganHolds) {
+  const unsigned n = GetParam();
+  std::mt19937_64 rng(n);
+  for (int iter = 0; iter < 20; ++iter) {
+    TruthTable a(n), b(n);
+    for (std::size_t w = 0; w < a.num_words(); ++w) {
+      a.set_word(w, rng());
+      b.set_word(w, rng());
+    }
+    EXPECT_EQ(~(a & b), ~a | ~b);
+    EXPECT_EQ(~(a | b), ~a & ~b);
+    EXPECT_EQ(a ^ b, (a | b) & ~(a & b));
+  }
+}
+
+TEST_P(TruthTableRandomOps, ShannonExpansionHolds) {
+  const unsigned n = GetParam();
+  std::mt19937_64 rng(1234 + n);
+  for (int iter = 0; iter < 10; ++iter) {
+    TruthTable f(n);
+    for (std::size_t w = 0; w < f.num_words(); ++w) {
+      f.set_word(w, rng());
+    }
+    for (unsigned v = 0; v < n; ++v) {
+      const auto x = TruthTable::nth_var(n, v);
+      EXPECT_EQ(f, (x & f.cofactor(v, true)) | (~x & f.cofactor(v, false)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TruthTableRandomOps, ::testing::Values(1u, 2u, 3u, 5u, 6u, 8u, 10u));
+
+}  // namespace
+}  // namespace t1sfq
