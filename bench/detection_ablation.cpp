@@ -24,6 +24,7 @@ void run_case(const std::string& label, const Network& net, const T1DetectionPar
   p.clk.phases = 4;
   p.use_t1 = true;
   p.detection = det;
+  p.opt.enable = false;  // ablate detection on the raw network (paper setting)
   const auto res = run_flow(net, p);
   std::cout << std::setw(26) << label << std::setw(8) << res.metrics.t1_found
             << std::setw(8) << res.metrics.t1_used << std::setw(10) << res.metrics.num_dffs
@@ -45,6 +46,7 @@ int main() {
     FlowParams p;
     p.clk.phases = 4;
     p.use_t1 = false;
+    p.opt.enable = false;
     const auto res = run_flow(net, p);
     std::cout << std::setw(26) << "no T1 (baseline)" << std::setw(8) << 0 << std::setw(8)
               << 0 << std::setw(10) << res.metrics.num_dffs << std::setw(12)

@@ -44,6 +44,9 @@ int main() {
   FlowParams params;
   params.clk.phases = 4;
   params.use_t1 = true;
+  // Figure reproduction: the optimizer would pre-compress the full adder to
+  // xor3+maj3 and the 29 JJ T1 cell would no longer win on raw area.
+  params.opt.enable = false;
   const FlowResult res = run_flow(net, params);
 
   std::cout << "T1 realization (paper: 29 JJ, ~40% of conventional):\n";

@@ -71,11 +71,26 @@ void BM_FullT1Flow(benchmark::State& state) {
   const Network net = make_adder(static_cast<unsigned>(state.range(0)));
   FlowParams p;
   p.clk.phases = 4;
+  p.opt.enable = false;  // keep the seed flow's timing baseline comparable
   for (auto _ : state) {
     benchmark::DoNotOptimize(run_flow(net, p));
   }
 }
 BENCHMARK(BM_FullT1Flow)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Optimize(benchmark::State& state) {
+  const Network net = make_adder(static_cast<unsigned>(state.range(0)));
+  OptParams op;
+  op.verify = false;  // time the passes, not the equivalence guard
+  for (auto _ : state) {
+    state.PauseTiming();
+    Network copy = net;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(optimize(copy, op));
+  }
+  state.SetItemsProcessed(state.iterations() * net.num_gates());
+}
+BENCHMARK(BM_Optimize)->Arg(16)->Arg(64)->Arg(128);
 
 void BM_SatEquivalence(benchmark::State& state) {
   const Network a = make_adder(static_cast<unsigned>(state.range(0)));

@@ -1,0 +1,133 @@
+/// \file opt_ablation.cpp
+/// \brief Optimization-ablation benchmark: each opt pass toggled on the suite.
+///
+/// Runs the T1 flow on every Table-I benchmark with the pre-mapping optimizer
+/// in five configurations — off, each pass alone, and the full pipeline — and
+/// reports the logical gate count entering/leaving the optimizer plus the
+/// Table-I columns (#DFF, area in JJ, depth in cycles, T1 cells used). Every
+/// optimized network is verified against the generator: word-parallel random
+/// simulation in full, and a SAT equivalence proof under a conflict budget
+/// (a counterexample fails the run; exceeding the budget reports "sim").
+///
+/// This is the acceptance harness for the optimizer: the "all" rows must
+/// never exceed the "off" rows in #DFF or depth, and must show strictly
+/// fewer gates on the adder/multiplier-class benchmarks.
+///
+/// Usage: opt_ablation [--phases N] [--shrink K] [--no-verify] [--sat-budget C]
+
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/suite.hpp"
+#include "core/flow.hpp"
+#include "network/equivalence.hpp"
+#include "network/simulation.hpp"
+
+using namespace t1sfq;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool enable, rewriting, balancing, resub;
+};
+
+constexpr Variant kVariants[] = {
+    {"off", false, false, false, false},
+    {"rw", true, true, false, false},
+    {"bal", true, false, true, false},
+    {"rs", true, false, false, true},
+    {"all", true, true, true, true},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned phases = 4;
+  unsigned shrink = 4;
+  bool verify = true;
+  uint64_t sat_budget = 5000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
+      phases = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shrink") == 0 && i + 1 < argc) {
+      shrink = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--sat-budget") == 0 && i + 1 < argc) {
+      sat_budget = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-verify") == 0) {
+      verify = false;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]\n";
+      return 2;
+    }
+  }
+
+  const auto suite = shrink > 1 ? bench::make_suite_scaled(shrink) : bench::make_suite();
+  bool all_ok = true;
+
+  std::cout << std::left << std::setw(12) << "benchmark" << std::setw(6) << "cfg"
+            << std::right << std::setw(7) << "G.in" << std::setw(7) << "G.opt"
+            << std::setw(7) << "#DFF" << std::setw(9) << "Area" << std::setw(7)
+            << "Depth" << std::setw(6) << "T1" << std::setw(9) << "proof" << "\n";
+
+  for (const auto& c : suite) {
+    const Network net = c.generate();
+    std::size_t off_dffs = 0;
+    Stage off_depth = 0;
+    std::size_t off_gates = 0;
+    for (const Variant& v : kVariants) {
+      FlowParams p;
+      p.clk.phases = phases;
+      p.opt.enable = v.enable;
+      p.opt.cut_rewriting = v.rewriting;
+      p.opt.balancing = v.balancing;
+      p.opt.resubstitution = v.resub;
+      const FlowResult res = run_flow(net, p);
+
+      std::string proof = "-";
+      if (verify && v.enable) {
+        if (!random_simulation_equal(res.mapped, net, 32)) {
+          proof = "SIM-FAIL";
+          all_ok = false;
+        } else {
+          const auto sat = check_equivalence_sat(res.mapped, net, sat_budget);
+          if (sat.result == EquivalenceResult::NotEquivalent) {
+            proof = "SAT-FAIL";
+            all_ok = false;
+          } else {
+            proof = sat.result == EquivalenceResult::Equivalent ? "SAT" : "sim";
+          }
+        }
+      }
+
+      std::cout << std::left << std::setw(12) << c.name << std::setw(6) << v.name
+                << std::right << std::setw(7) << res.metrics.pre_opt_gates << std::setw(7)
+                << res.metrics.opt_gates << std::setw(7) << res.metrics.num_dffs
+                << std::setw(9) << res.metrics.area_jj << std::setw(7)
+                << res.metrics.depth_cycles << std::setw(6) << res.metrics.t1_used
+                << std::setw(9) << proof << "\n";
+
+      if (std::strcmp(v.name, "off") == 0) {
+        off_dffs = res.metrics.num_dffs;
+        off_depth = res.metrics.depth_cycles;
+        off_gates = res.metrics.opt_gates;
+      } else if (std::strcmp(v.name, "all") == 0) {
+        if (res.metrics.num_dffs > off_dffs || res.metrics.depth_cycles > off_depth) {
+          std::cerr << "[opt_ablation] REGRESSION on " << c.name << ": DFF "
+                    << off_dffs << " -> " << res.metrics.num_dffs << ", depth "
+                    << off_depth << " -> " << res.metrics.depth_cycles << "\n";
+          all_ok = false;
+        }
+        if (res.metrics.opt_gates >= off_gates) {
+          std::cerr << "[opt_ablation] note: no gate win on " << c.name << " ("
+                    << off_gates << " -> " << res.metrics.opt_gates << ")\n";
+        }
+      }
+    }
+  }
+  return all_ok ? 0 : 1;
+}

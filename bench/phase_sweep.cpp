@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
       FlowParams base;
       base.clk.phases = n;
       base.use_t1 = false;
+      base.opt.enable = false;  // sweep the paper's flows on the raw network
       const auto b = run_flow(net, base).metrics;
       std::cout << std::setw(4) << n << std::setw(12) << b.num_dffs << std::setw(12)
                 << b.area_jj << std::setw(12) << b.depth_cycles;
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
         FlowParams t1p;
         t1p.clk.phases = n;
         t1p.use_t1 = true;
+        t1p.opt.enable = false;
         const auto t = run_flow(net, t1p).metrics;
         std::cout << std::setw(12) << t.num_dffs << std::setw(12) << t.area_jj
                   << std::setw(12) << t.depth_cycles;

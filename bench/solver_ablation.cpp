@@ -25,6 +25,7 @@ double run_ms(const Network& net, PhaseEngine engine, bool use_t1, FlowMetrics* 
   p.clk.phases = 4;
   p.use_t1 = use_t1;
   p.engine = engine;
+  p.opt.enable = false;  // time the schedulers on identical (raw) networks
   const auto t0 = std::chrono::steady_clock::now();
   const auto res = run_flow(net, p);
   const auto dt = std::chrono::steady_clock::now() - t0;

@@ -12,10 +12,13 @@
 /// Every T1 flow result is verified: SAT equivalence against the generator
 /// and a pulse-level simulation of the physical netlist (timing + function).
 ///
-/// Usage: table1 [--phases N] [--shrink K] [--no-verify] [--sat-budget C]
+/// Usage: table1 [--phases N] [--shrink K] [--no-verify] [--sat-budget C] [--opt]
 ///   --shrink K scales all benchmark widths down by K for quick runs.
 ///   --sat-budget C caps the SAT proof at C conflicts per output (default
 ///   5000; simulation and pulse-level checks always run in full).
+///   --opt runs all three flows behind the pre-mapping optimizer (src/opt/).
+///   The default reproduces the paper (no optimization); see
+///   bench/opt_ablation.cpp for the per-pass effect of the optimizer.
 
 #include <cstring>
 #include <iostream>
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
   unsigned phases = 4;
   unsigned shrink = 1;
   bool verify = true;
+  bool opt = false;
   uint64_t sat_budget = 5000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
@@ -44,9 +48,11 @@ int main(int argc, char** argv) {
       sat_budget = std::stoull(argv[++i]);
     } else if (std::strcmp(argv[i], "--no-verify") == 0) {
       verify = false;
+    } else if (std::strcmp(argv[i], "--opt") == 0) {
+      opt = true;
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]\n";
+                << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C] [--opt]\n";
       return 2;
     }
   }
@@ -63,12 +69,15 @@ int main(int argc, char** argv) {
     FlowParams p1;
     p1.clk.phases = 1;
     p1.use_t1 = false;
+    p1.opt.enable = opt;
     FlowParams pn;
     pn.clk.phases = phases;
     pn.use_t1 = false;
+    pn.opt.enable = opt;
     FlowParams pt;
     pt.clk.phases = phases;
     pt.use_t1 = true;
+    pt.opt.enable = opt;
 
     TableRow row;
     row.name = c.name;

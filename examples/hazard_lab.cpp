@@ -44,6 +44,7 @@ int main() {
   FlowParams params;
   params.clk = clk;
   params.use_t1 = true;
+  params.opt.enable = false;  // keep the hand-built hazard structures intact
   const FlowResult res = run_flow(net, params);
   const auto& phys = res.physical;
   for (NodeId id = 0; id < phys.net.size(); ++id) {

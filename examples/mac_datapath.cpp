@@ -36,6 +36,7 @@ int main() {
     FlowParams p;
     p.clk.phases = phases;
     p.use_t1 = true;
+    p.opt.enable = false;  // this example studies T1 placement, not optimization
     const FlowResult res = run_flow(net, p);
     const bool ok =
         check_equivalence(res.mapped, net, 8, 50000).result != EquivalenceResult::NotEquivalent &&
@@ -50,6 +51,7 @@ int main() {
   FlowParams p;
   p.clk.phases = 4;
   p.use_t1 = true;
+  p.opt.enable = false;
   const FlowResult res = run_flow(net, p);
   std::cout << "\nT1 cells per epoch (4-phase schedule):\n";
   std::map<Stage, unsigned> per_epoch;

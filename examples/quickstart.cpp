@@ -24,14 +24,21 @@ int main() {
   add_po_word(net, ripple_carry_adder(net, a, b, net.get_const0()), "sum");
   std::cout << "input: " << net.num_gates() << " gates, depth " << net.depth() << "\n";
 
-  // 2. Run the paper's flow: T1 detection -> phase assignment -> DFF insertion.
+  // 2. Run the full flow: pre-mapping optimization (src/opt/: cut rewriting,
+  //    depth balancing, DFF-aware resubstitution — on by default) followed by
+  //    the paper's stages: T1 detection -> phase assignment -> DFF insertion.
   FlowParams params;
   params.clk.phases = 4;   // four-phase clocking, as in the paper
   params.use_t1 = true;    // enable T1-cell detection (§II-A)
   const FlowResult result = run_flow(net, params);
 
+  std::cout << "optimizer: " << result.metrics.pre_opt_gates << " -> "
+            << result.metrics.opt_gates << " gates ("
+            << result.opt.total_applied << " rewrites; set opt.enable=false to skip)\n";
   std::cout << "T1 cells: found " << result.metrics.t1_found << ", used "
-            << result.metrics.t1_used << "\n";
+            << result.metrics.t1_used
+            << " (optimized adders are already xor3/maj3 pairs — run with "
+               "opt.enable=false to reproduce the paper's 7/7)\n";
   std::cout << "path-balancing DFFs: " << result.metrics.num_dffs << "\n";
   std::cout << "area: " << result.metrics.area_jj << " JJ (" << result.metrics.num_splitters
             << " splitters)\n";

@@ -48,6 +48,7 @@ int main() {
   FlowParams p;
   p.clk.phases = 4;
   p.use_t1 = true;
+  p.opt.enable = false;  // paper's flow as-is; see opt_ablation for the optimizer
   const FlowResult res = run_flow(mapped, p);
   std::cout << "T1 flow: " << res.metrics.t1_used << " T1 cells, "
             << res.metrics.num_dffs << " DFFs, " << res.metrics.area_jj

@@ -35,6 +35,19 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
   FlowResult result;
   result.mapped = input.cleanup();
 
+  result.metrics.pre_opt_gates = result.mapped.num_gates();
+  result.metrics.pre_opt_depth = result.mapped.depth();
+  if (params.opt.enable) {
+    OptParams op = params.opt;
+    op.clk = params.clk;
+    op.lib = params.lib;
+    op.area = params.area;
+    result.opt = optimize(result.mapped, op);
+    result.metrics.opt_applied = result.opt.total_applied;
+  }
+  result.metrics.opt_gates = result.mapped.num_gates();
+  result.metrics.opt_depth = result.mapped.depth();
+
   if (params.use_t1) {
     const T1DetectionStats det =
         detect_and_replace_t1(result.mapped, params.lib, params.detection);

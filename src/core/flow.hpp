@@ -18,6 +18,7 @@
 #include "core/phase_assignment.hpp"
 #include "core/t1_detection.hpp"
 #include "network/network.hpp"
+#include "opt/pass.hpp"
 #include "sfq/cell_library.hpp"
 #include "sfq/clocking.hpp"
 
@@ -35,6 +36,10 @@ struct FlowParams {
   CellLibrary lib{};
   AreaConfig area{};
   T1DetectionParams detection{};
+  /// Pre-mapping logic optimization (opt/pass.hpp), run before T1 detection.
+  /// `opt.enable = false` reproduces the unoptimized seed flows; `opt.clk`
+  /// and `opt.lib` are overridden with the flow's own values.
+  OptParams opt{};
 };
 
 struct FlowMetrics {
@@ -45,6 +50,12 @@ struct FlowMetrics {
   Stage depth_cycles = 0;         ///< Table I "Depth"
   std::size_t t1_found = 0;
   std::size_t t1_used = 0;
+  // Pre-mapping optimization before/after (logical network, pre T1 rewrite).
+  std::size_t pre_opt_gates = 0;  ///< gates entering the optimizer
+  uint32_t pre_opt_depth = 0;     ///< levels entering the optimizer
+  std::size_t opt_gates = 0;      ///< gates after optimization (= pre when off)
+  uint32_t opt_depth = 0;         ///< levels after optimization
+  std::size_t opt_applied = 0;    ///< local transforms committed
 };
 
 struct FlowResult {
@@ -52,6 +63,7 @@ struct FlowResult {
   PhaseAssignment assignment;
   PhysicalNetlist physical;
   FlowMetrics metrics;
+  OptSummary opt;           ///< per-pass optimization statistics
 };
 
 /// Runs the flow. Throws std::invalid_argument when `use_t1` is combined with

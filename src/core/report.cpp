@@ -19,6 +19,8 @@ TableSummary summarize(const std::vector<TableRow>& rows) {
   }
   // Arithmetic means of per-row ratios, as in the paper's "Average" row.
   for (const TableRow& r : rows) {
+    s.opt_gate_ratio +=
+        r.t1.pre_opt_gates > 0 ? ratio(r.t1.opt_gates, r.t1.pre_opt_gates) : 1.0;
     s.dff_ratio_vs_1phi += ratio(r.t1.num_dffs, r.single_phase.num_dffs);
     s.dff_ratio_vs_nphi += ratio(r.t1.num_dffs, r.multi_phase.num_dffs);
     s.area_ratio_vs_1phi += ratio(r.t1.area_jj, r.single_phase.area_jj);
@@ -36,6 +38,7 @@ TableSummary summarize(const std::vector<TableRow>& rows) {
   s.total_dff_ratio_vs_nphi = ratio(t1_dffs, nphi_dffs);
   s.total_area_ratio_vs_nphi = ratio(t1_area, nphi_area);
   const double n = static_cast<double>(rows.size());
+  s.opt_gate_ratio /= n;
   s.dff_ratio_vs_1phi /= n;
   s.dff_ratio_vs_nphi /= n;
   s.area_ratio_vs_1phi /= n;
@@ -50,6 +53,7 @@ void print_table(std::ostream& os, const std::vector<TableRow>& rows, unsigned p
   os << "Multiphase clocking with T1 cells (reproduction of Table I)\n";
   os << std::left << std::setw(12) << "benchmark" << std::right    //
      << std::setw(7) << "found" << std::setw(7) << "used"          //
+     << std::setw(7) << "G.in" << std::setw(7) << "G.opt"          //
      << std::setw(9) << "DFF.1phi" << std::setw(9) << ("DFF." + nphi) << std::setw(9)
      << "DFF.T1" << std::setw(7) << "/1phi" << std::setw(7) << ("/" + nphi)  //
      << std::setw(10) << "A.1phi" << std::setw(10) << ("A." + nphi) << std::setw(10)
@@ -62,6 +66,7 @@ void print_table(std::ostream& os, const std::vector<TableRow>& rows, unsigned p
   for (const TableRow& r : rows) {
     os << std::left << std::setw(12) << r.name << std::right  //
        << std::setw(7) << r.t1.t1_found << std::setw(7) << r.t1.t1_used
+       << std::setw(7) << r.t1.pre_opt_gates << std::setw(7) << r.t1.opt_gates
        << std::setw(9) << r.single_phase.num_dffs << std::setw(9) << r.multi_phase.num_dffs
        << std::setw(9) << r.t1.num_dffs;
     r2(ratio(r.t1.num_dffs, r.single_phase.num_dffs));
@@ -78,8 +83,9 @@ void print_table(std::ostream& os, const std::vector<TableRow>& rows, unsigned p
   }
   const TableSummary s = summarize(rows);
   os << std::left << std::setw(12) << "Average" << std::right << std::setw(7) << ""
-     << std::setw(7) << "" << std::setw(9) << "" << std::setw(9) << "" << std::setw(9)
-     << "";
+     << std::setw(7) << "" << std::setw(7) << "";
+  r2(s.opt_gate_ratio);  // under G.opt: mean optimized/incoming gate ratio
+  os << std::setw(9) << "" << std::setw(9) << "" << std::setw(9) << "";
   r2(s.dff_ratio_vs_1phi);
   r2(s.dff_ratio_vs_nphi);
   os << std::setw(10) << "" << std::setw(10) << "" << std::setw(10) << "";

@@ -19,6 +19,9 @@ struct TableRow {
 };
 
 struct TableSummary {
+  /// Mean per-row ratio of logic gates after/before pre-mapping optimization
+  /// in the T1 flow (1.0 when the optimizer is off or changed nothing).
+  double opt_gate_ratio = 0.0;
   // Arithmetic means of the per-row ratios (the paper's "Average" row).
   double dff_ratio_vs_1phi = 0.0;
   double dff_ratio_vs_nphi = 0.0;

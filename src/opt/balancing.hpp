@@ -1,0 +1,29 @@
+#pragma once
+/// \file balancing.hpp
+/// \brief Depth balancing of associative And/Or/Xor chains.
+///
+/// In a multiphase SFQ netlist logic level maps one-to-one to clock stages,
+/// so a skewed operand chain (the natural output of bit-serial generators,
+/// e.g. ripple carries or reduction trees written as left folds) costs both
+/// latency and path-balancing DFFs. The pass collapses maximal single-fanout
+/// chains of one associative family (And2/And3, Or2/Or3, Xor2/Xor3) into an
+/// operand list, simplifies it algebraically (idempotence, complement pairs,
+/// XOR parity cancellation), and rebuilds a depth-minimal tree by greedy
+/// Huffman-style combining on operand arrival levels — using the 3-input
+/// cells where they win, since And3/Or3/Xor3 are cheaper in JJ than two
+/// 2-input cells and absorb three operands in a single level. A rebuild is
+/// committed only when it strictly improves (level, then gate JJ cost), so
+/// network depth never increases.
+
+#include "opt/pass.hpp"
+
+namespace t1sfq {
+
+class BalancingPass : public Pass {
+public:
+  using Pass::Pass;
+  const char* name() const override { return "balancing"; }
+  std::size_t run(Network& net) override;
+};
+
+}  // namespace t1sfq

@@ -1,0 +1,108 @@
+#include "opt/cut_rewriting.hpp"
+
+#include <algorithm>
+
+#include "network/cut_enumeration.hpp"
+#include "network/mffc.hpp"
+#include "opt/rewrite_db.hpp"
+
+namespace t1sfq {
+
+std::size_t CutRewritingPass::run(Network& net) {
+  const RewriteDb& db = RewriteDb::instance();
+  CutEnumerationParams cp;
+  cp.cut_size = std::min(params_.cut_size, 4u);
+  cp.max_cuts = params_.max_cuts;
+  cp.compute_functions = true;
+  const std::vector<CutSet> cuts = enumerate_cuts(net, cp);
+
+  std::vector<uint32_t> lvl = net.levels();
+  std::vector<uint32_t> fanout = net.fanout_counts();
+  // Roots committed earlier in this sweep become dangling; cuts of downstream
+  // nodes may still name them as leaves, so leaf references are chased to
+  // their live replacement (functions are preserved by every commit).
+  std::vector<NodeId> replaced_by(net.size(), kNullNode);
+  const auto resolve = [&](NodeId id) {
+    while (id < replaced_by.size() && replaced_by[id] != kNullNode) {
+      id = replaced_by[id];
+    }
+    return id;
+  };
+
+  std::size_t applied = 0;
+  for (const NodeId root : net.topo_order()) {
+    if (net.is_dead(root) || replaced_by[root] != kNullNode) continue;
+    if (!is_opt_gate(net.node(root).type)) continue;
+    if (fanout[root] == 0) continue;  // dangling (e.g. interior of a prior commit)
+
+    struct Candidate {
+      RewriteMatch match;
+      std::vector<NodeId> leaves;
+      int64_t gain = 0;
+      uint32_t depth_est = 0;
+    };
+    std::optional<Candidate> best;
+
+    for (const Cut& cut : cuts[root].cuts()) {
+      if (cut.is_trivial() || cut.leaves.size() < 2) continue;
+      std::vector<NodeId> leaves(cut.leaves.size());
+      for (std::size_t i = 0; i < cut.leaves.size(); ++i) {
+        leaves[i] = resolve(cut.leaves[i]);
+      }
+      const auto match = db.match(cut.function);
+      if (!match) continue;
+
+      const std::vector<NodeId> cone = mffc(net, root, fanout, leaves);
+      // Pre-mapping networks hold plain gates only, but never touch a cone
+      // that contains timing or T1 cells.
+      bool clean = true;
+      for (const NodeId id : cone) {
+        if (!is_opt_gate(net.node(id).type)) {
+          clean = false;
+          break;
+        }
+      }
+      if (!clean) continue;
+
+      const int64_t gain =
+          static_cast<int64_t>(cone.size()) - static_cast<int64_t>(match->gate_cost);
+      // Depth estimate from leaf levels; the realized level (measured after
+      // instantiation) can only be lower thanks to structural hashing.
+      uint32_t leaf_lvl = 0;
+      for (const NodeId leaf : leaves) {
+        leaf_lvl = std::max(leaf_lvl, lvl[leaf]);
+      }
+      const uint32_t depth_est = leaf_lvl + match->depth;
+      if (gain < 0 || (gain == 0 && depth_est >= lvl[root])) continue;
+
+      if (!best || gain > best->gain ||
+          (gain == best->gain && depth_est < best->depth_est)) {
+        best = Candidate{*match, std::move(leaves), gain, depth_est};
+      }
+    }
+    if (!best) continue;
+
+    const NodeId new_root = db.instantiate(best->match, best->leaves, net);
+    extend_levels(net, lvl);
+    if (new_root == root) continue;
+    // Never regress depth: a commit whose realized root level exceeds the old
+    // one is abandoned (the dangling structure is swept at pass end).
+    if (lvl[new_root] > lvl[root] ||
+        (lvl[new_root] == lvl[root] && best->gain <= 0)) {
+      continue;
+    }
+    net.substitute(root, new_root);
+    replaced_by.resize(net.size(), kNullNode);
+    replaced_by[root] = new_root;
+    fanout = net.fanout_counts();
+    // Refresh levels so later depth guards see upstream improvements instead
+    // of the stale pass-entry values (which are only upper bounds).
+    lvl = net.levels();
+    ++applied;
+  }
+
+  net.sweep_dangling();
+  return applied;
+}
+
+}  // namespace t1sfq

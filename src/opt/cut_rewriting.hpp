@@ -1,0 +1,30 @@
+#pragma once
+/// \file cut_rewriting.hpp
+/// \brief Cut rewriting: replace cut MFFCs with cheaper database structures.
+///
+/// For every rewritable node the pass enumerates priority k-cuts
+/// (cut_enumeration.hpp, k = OptParams::cut_size), matches each cut function
+/// against the precomputed structure database (rewrite_db.hpp — exact table
+/// lookup with an NPN-class fallback via npn.hpp), and prices a replacement as
+///
+///     gain = |MFFC(root, leaves)|  −  structure gate cost,
+///
+/// the classic DAG-aware rewriting gain (Mishchenko et al., DAC'06): the MFFC
+/// is exactly what dies when the root is rerouted, and structural hashing can
+/// only shrink the realized structure cost, so the estimate is a lower bound
+/// on the true gain. The best positive-gain cut per root is committed
+/// (ties prefer smaller depth); every commit is constrained to a new root
+/// level at most the old one, so network depth never increases.
+
+#include "opt/pass.hpp"
+
+namespace t1sfq {
+
+class CutRewritingPass : public Pass {
+public:
+  using Pass::Pass;
+  const char* name() const override { return "cut-rewriting"; }
+  std::size_t run(Network& net) override;
+};
+
+}  // namespace t1sfq

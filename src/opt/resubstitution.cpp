@@ -1,0 +1,256 @@
+#include "opt/resubstitution.hpp"
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "network/equivalence.hpp"
+#include "network/mffc.hpp"
+#include "network/simulation.hpp"
+#include "solver/sat.hpp"
+
+namespace t1sfq {
+
+namespace {
+
+uint64_t sig_hash(const uint64_t* words, unsigned count, bool invert) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned i = 0; i < count; ++i) {
+    h ^= invert ? ~words[i] : words[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool sig_equal(const uint64_t* a, const uint64_t* b, unsigned count, bool invert) {
+  for (unsigned i = 0; i < count; ++i) {
+    if (a[i] != (invert ? ~b[i] : b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t ResubstitutionPass::run(Network& net) {
+  net.sweep_dangling();
+  net = net.cleanup();  // ids ascend in topo order: donors below targets are never in the TFO
+  const std::size_t n0 = net.size();
+
+  std::vector<uint32_t> lvl = net.levels();
+  std::vector<uint32_t> fanout = net.fanout_counts();
+  std::vector<std::vector<NodeId>> consumers = net.fanout_lists();
+  std::vector<char> is_po(n0, 0);
+  Stage output_stage = 1;
+  for (const NodeId po : net.pos()) {
+    is_po[po] = 1;
+    output_stage = std::max<Stage>(output_stage, static_cast<Stage>(lvl[po]) + 1);
+  }
+
+  // Word-parallel signatures: `words` 64-bit words per node. The first word
+  // pins the all-zero and all-one patterns into bits 0/1 so stuck-at signals
+  // collide with the constants immediately.
+  const unsigned words = std::max(1u, params_.sim_words);
+  std::vector<uint64_t> sig(n0 * words);
+  {
+    std::mt19937_64 rng(0x5eedf00dULL);
+    for (unsigned w = 0; w < words; ++w) {
+      std::vector<uint64_t> pi_words(net.num_pis());
+      for (auto& word : pi_words) {
+        word = rng();
+        if (w == 0) {
+          word = (word & ~uint64_t{3}) | 2;
+        }
+      }
+      const std::vector<uint64_t> values = simulate_all_words(net, pi_words);
+      for (std::size_t id = 0; id < n0; ++id) {
+        sig[id * words + w] = values[id];
+      }
+    }
+  }
+
+  // Existing inverters, so a complemented resubstitution can reuse one.
+  std::unordered_map<NodeId, NodeId> not_of;
+  for (NodeId id = 0; id < n0; ++id) {
+    const Node& n = net.node(id);
+    if (n.type == GateType::Not) {
+      not_of.emplace(n.fanin(0), id);
+    }
+  }
+
+  // One CNF encoding serves every proof: commits only reroute fanouts, which
+  // never changes the function any encoded node computes over the PIs, so
+  // the clauses stay a valid model for later queries.
+  SatSolver solver;
+  std::vector<Lit> pi_lits;
+  const std::vector<Lit> lits = encode_network(net, solver, pi_lits);
+  const auto prove_equal = [&](NodeId a, NodeId b, bool invert) {
+    const Lit la = lits[a];
+    const Lit lb = invert ? negate(lits[b]) : lits[b];
+    const Lit diff = pos_lit(solver.new_var());
+    solver.add_clause({negate(diff), la, lb});
+    solver.add_clause({negate(diff), negate(la), negate(lb)});
+    solver.add_clause({diff, negate(la), lb});
+    solver.add_clause({diff, la, negate(lb)});
+    return solver.solve({diff}, params_.sat_conflict_budget) == SatResult::Unsat;
+  };
+
+  // Shared-spine length of one driver under ASAP stages (the plan_dffs
+  // per-driver term): max over consumers of ceil(gap / phases) - 1.
+  const auto spine_of = [&](NodeId d, const std::vector<Stage>& extra_stages) {
+    Stage len = 0;
+    const Stage sd = static_cast<Stage>(lvl[d]);
+    for (const NodeId c : consumers[d]) {
+      len = std::max(len, params_.clk.dffs_on_edge(sd, static_cast<Stage>(lvl[c])));
+    }
+    if (d < n0 && is_po[d]) {
+      len = std::max(len, params_.clk.dffs_on_edge(sd, output_stage));
+    }
+    for (const Stage sc : extra_stages) {
+      len = std::max(len, params_.clk.dffs_on_edge(sd, sc));
+    }
+    return len;
+  };
+  // DFF + its clock share — the same marginal the flow's area metric charges
+  // (7 JJ at defaults, the paper's implicit per-DFF cost).
+  const int64_t dff_marginal = params_.lib.jj_dff + params_.area.clock_jj_per_clocked;
+
+  std::vector<char> alive(n0, 1);
+  std::unordered_map<uint64_t, std::vector<NodeId>> index;
+  std::size_t applied = 0;
+
+  for (NodeId target = 0; target < n0; ++target) {
+    const Node& tn = net.node(target);
+    const bool donor_type = tn.type == GateType::Pi || tn.type == GateType::Const0 ||
+                            tn.type == GateType::Const1 || is_opt_gate(tn.type);
+
+    if (alive[target] && is_opt_gate(tn.type) && fanout[target] > 0) {
+      // Gather signature-equal donors, plain and complemented.
+      struct Candidate {
+        NodeId donor;
+        bool invert;
+        int64_t cost_delta;  // JJ; negative is an improvement
+      };
+      std::vector<Candidate> candidates;
+      const uint64_t* tsig = &sig[static_cast<std::size_t>(target) * words];
+
+      // Stage positions of the target's current consumers (what the donor's
+      // spine must newly cover).
+      std::vector<Stage> absorbed;
+      for (const NodeId c : consumers[target]) {
+        absorbed.push_back(static_cast<Stage>(lvl[c]));
+      }
+      if (is_po[target]) {
+        absorbed.push_back(output_stage);
+      }
+
+      // The dying cone depends only on the target: compute it once.
+      const std::vector<NodeId> dying = mffc(net, target, fanout);
+      bool cone_clean = true;
+      int64_t cone_jj = 0;
+      for (const NodeId d : dying) {
+        if (!is_opt_gate(net.node(d).type)) {
+          cone_clean = false;
+          break;
+        }
+        cone_jj += params_.lib.jj_cost(net.node(d).type);
+      }
+      const auto in_cone = [&dying](NodeId id) {
+        return std::find(dying.begin(), dying.end(), id) != dying.end();
+      };
+
+      for (const bool invert : {false, true}) {
+        if (!cone_clean) break;
+        const auto it = index.find(sig_hash(tsig, words, invert));
+        if (it == index.end()) continue;
+        for (const NodeId donor : it->second) {
+          if (!alive[donor] || donor == target) continue;
+          if (!sig_equal(tsig, &sig[static_cast<std::size_t>(donor) * words], words, invert)) {
+            continue;
+          }
+          const bool have_not = invert && not_of.count(donor) > 0;
+          const uint32_t new_lvl =
+              invert ? (have_not ? lvl[not_of[donor]] : lvl[donor] + 1) : lvl[donor];
+          if (new_lvl > lvl[target]) continue;  // depth must never regress
+          // A donor (or its inverter) inside the dying cone would survive the
+          // substitution, invalidating the gain accounting: skip it.
+          if (in_cone(donor) || (have_not && in_cone(not_of[donor]))) continue;
+
+          int64_t gain_jj = cone_jj;
+          if (invert && !have_not) {
+            gain_jj -= params_.lib.jj_not;
+          }
+
+          // Shared-spine delta: the donor-side spine stretches to the
+          // absorbed consumers, the dying cone's spines disappear. Fanins of
+          // the cone may shrink too; ignoring that only understates the gain.
+          int64_t dff_delta = 0;
+          if (!invert) {
+            dff_delta += spine_of(donor, absorbed) - spine_of(donor, {});
+          } else if (have_not) {
+            const NodeId inv_node = not_of[donor];
+            dff_delta += spine_of(inv_node, absorbed) - spine_of(inv_node, {});
+          } else {
+            const Stage s_not = static_cast<Stage>(lvl[donor]) + 1;
+            for (const Stage sc : absorbed) {
+              dff_delta = std::max(dff_delta,
+                                   static_cast<int64_t>(params_.clk.dffs_on_edge(s_not, sc)));
+            }
+          }
+          for (const NodeId d : dying) {
+            dff_delta -= spine_of(d, {});
+          }
+
+          const int64_t cost_delta = -gain_jj + dff_marginal * dff_delta;
+          if (cost_delta >= 0) continue;
+          candidates.push_back({donor, invert, cost_delta});
+        }
+      }
+
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.cost_delta < b.cost_delta;
+                });
+      // SAT-validate in score order; a signature collision just moves on.
+      constexpr std::size_t kMaxProofs = 4;
+      for (std::size_t i = 0; i < candidates.size() && i < kMaxProofs; ++i) {
+        const Candidate& cand = candidates[i];
+        if (!prove_equal(target, cand.donor, cand.invert)) {
+          continue;
+        }
+        NodeId new_node = cand.donor;
+        if (cand.invert) {
+          new_node = net.add_not(cand.donor);
+          not_of[cand.donor] = new_node;
+          extend_levels(net, lvl);
+        }
+        net.substitute(target, new_node);
+        // The cone may contain inverters created by earlier commits, whose
+        // ids lie beyond the initial `alive` span — they are never donors or
+        // targets, so only the original ids need the bookkeeping.
+        for (const NodeId d : dying) {
+          if (d < n0) {
+            alive[d] = 0;
+          }
+        }
+        fanout = net.fanout_counts();
+        consumers = net.fanout_lists();
+        lvl = net.levels();  // consumer levels may drop; keep spine math fresh
+        ++applied;
+        break;
+      }
+    }
+
+    if (alive[target] && donor_type) {
+      const uint64_t* dsig = &sig[static_cast<std::size_t>(target) * words];
+      index[sig_hash(dsig, words, false)].push_back(target);
+    }
+  }
+
+  net.sweep_dangling();
+  return applied;
+}
+
+}  // namespace t1sfq

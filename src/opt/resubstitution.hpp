@@ -1,0 +1,35 @@
+#pragma once
+/// \file resubstitution.hpp
+/// \brief DFF-aware resubstitution with simulation signatures + SAT proofs.
+///
+/// Classic resubstitution asks: can node n be replaced by an *existing*
+/// signal m (possibly through one inverter)? Candidates are found with
+/// word-parallel simulation signatures (simulation.hpp) and every commit is
+/// proved by a SAT miter between the two node literals (equivalence.hpp /
+/// sat.hpp) — a signature match alone never rewires anything.
+///
+/// The SFQ twist is the scoring. In a multiphase netlist a merged signal does
+/// not just save its MFFC's gates: the donor's DFF spine must now stretch to
+/// the absorbed consumers, while the spines of the dying cone disappear.
+/// Candidates are therefore scored with the shared-spine cost model of
+/// `plan_dffs` (phase_assignment.hpp), evaluated locally on ASAP stages:
+///
+///   delta = spine(donor | merged consumers) - spine(donor)
+///         - sum over the dying MFFC of spine(d)   [+ spine of a new inverter]
+///
+/// and a substitution is committed only when JJ area (gates removed minus
+/// inverter added, at CellLibrary costs) plus the DFF marginal cost of delta
+/// improves. Donors never sit above the target level, so depth never grows.
+
+#include "opt/pass.hpp"
+
+namespace t1sfq {
+
+class ResubstitutionPass : public Pass {
+public:
+  using Pass::Pass;
+  const char* name() const override { return "resubstitution"; }
+  std::size_t run(Network& net) override;
+};
+
+}  // namespace t1sfq

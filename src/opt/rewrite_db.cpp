@@ -1,0 +1,332 @@
+#include "opt/rewrite_db.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "network/npn.hpp"
+
+namespace t1sfq {
+
+namespace {
+
+/// Truth tables of the four projection functions x0..x3 on 4 variables.
+constexpr std::array<uint16_t, 4> kProj{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00};
+
+/// Complements variable \p v of a 4-variable table.
+uint16_t tt16_flip(uint16_t t, unsigned v) {
+  const unsigned s = 1u << v;
+  return static_cast<uint16_t>(((t & kProj[v]) >> s) | ((t & ~kProj[v]) << s));
+}
+
+/// Applies a permutation with TruthTable::permute semantics: result variable i
+/// behaves as input variable perm[i].
+uint16_t tt16_permute(uint16_t t, const std::array<unsigned, 4>& perm) {
+  uint16_t r = 0;
+  for (unsigned m = 0; m < 16; ++m) {
+    unsigned src = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      if ((m >> i) & 1) {
+        src |= 1u << perm[i];
+      }
+    }
+    if ((t >> src) & 1) {
+      r |= static_cast<uint16_t>(1u << m);
+    }
+  }
+  return r;
+}
+
+bool tt16_has_var(uint16_t t, unsigned v) { return t != tt16_flip(t, v); }
+
+uint16_t eval_op(GateType op, uint16_t a, uint16_t b, uint16_t c) {
+  switch (op) {
+    case GateType::Not: return static_cast<uint16_t>(~a);
+    case GateType::And2: return a & b;
+    case GateType::Or2: return a | b;
+    case GateType::Xor2: return a ^ b;
+    case GateType::Nand2: return static_cast<uint16_t>(~(a & b));
+    case GateType::Nor2: return static_cast<uint16_t>(~(a | b));
+    case GateType::Xnor2: return static_cast<uint16_t>(~(a ^ b));
+    case GateType::And3: return a & b & c;
+    case GateType::Or3: return a | b | c;
+    case GateType::Xor3: return a ^ b ^ c;
+    case GateType::Maj3: return (a & b) | (a & c) | (b & c);
+    default: assert(false); return 0;
+  }
+}
+
+constexpr std::array<GateType, 6> kBinaryOps{GateType::And2,  GateType::Or2,
+                                             GateType::Xor2,  GateType::Nand2,
+                                             GateType::Nor2,  GateType::Xnor2};
+constexpr std::array<GateType, 4> kTernaryOps{GateType::And3, GateType::Or3,
+                                              GateType::Xor3, GateType::Maj3};
+
+/// All 24 permutations of 4 variables, each as a minterm remap table
+/// (tt16_permute semantics), built once.
+struct PermTables {
+  std::vector<std::array<unsigned, 4>> perms;
+  std::vector<std::array<uint8_t, 16>> remap;  ///< result minterm -> source minterm
+  PermTables() {
+    std::array<unsigned, 4> p{0, 1, 2, 3};
+    do {
+      std::array<uint8_t, 16> r{};
+      for (unsigned m = 0; m < 16; ++m) {
+        unsigned src = 0;
+        for (unsigned i = 0; i < 4; ++i) {
+          if ((m >> i) & 1) src |= 1u << p[i];
+        }
+        r[m] = static_cast<uint8_t>(src);
+      }
+      perms.push_back(p);
+      remap.push_back(r);
+    } while (std::next_permutation(p.begin(), p.end()));
+  }
+};
+
+const PermTables& perm_tables() {
+  static const PermTables tables;
+  return tables;
+}
+
+/// Exact NPN representative of a 4-variable table: minimum over all 768
+/// transforms, bit-identical to `npn_canonize` (npn.hpp) on 4 variables —
+/// both minimize the same set under the same lexicographic order. The
+/// equivalence is pinned by a unit test.
+uint16_t npn_rep16(uint16_t t) {
+  const PermTables& tables = perm_tables();
+  uint16_t best = 0xffff;
+  for (unsigned negmask = 0; negmask < 16; ++negmask) {
+    uint16_t f = t;
+    for (unsigned v = 0; v < 4; ++v) {
+      if ((negmask >> v) & 1) f = tt16_flip(f, v);
+    }
+    for (const auto& remap : tables.remap) {
+      uint16_t g = 0;
+      for (unsigned m = 0; m < 16; ++m) {
+        if ((f >> remap[m]) & 1) g |= static_cast<uint16_t>(1u << m);
+      }
+      best = std::min<uint16_t>(best, std::min<uint16_t>(g, static_cast<uint16_t>(~g)));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RewriteDb::settle_(uint16_t func, uint8_t cost, uint8_t depth, GateType op,
+                        uint16_t a, uint16_t b, uint16_t c) {
+  Entry& e = entries_[func];
+  if (e.cost < cost || (e.cost == cost && e.depth <= depth)) {
+    return;
+  }
+  const bool first = e.cost == 0xff;
+  e.cost = cost;
+  e.depth = depth;
+  e.op = op;
+  e.operand = {a, b, c};
+  if (first) {
+    ++num_settled_;
+    by_cost_[cost].push_back(func);
+  }
+}
+
+RewriteDb::RewriteDb(const Params& params) : entries_(1u << 16) {
+  by_cost_.resize(params.max_cost + 1);
+
+  // Cost-0 seeds: constants and projections. `op` doubles as the leaf marker
+  // (Pi stores the variable index in operand[0]).
+  settle_(0x0000, 0, 0, GateType::Const0, 0, 0, 0);
+  settle_(0xffff, 0, 0, GateType::Const1, 0, 0, 0);
+  for (unsigned v = 0; v < 4; ++v) {
+    settle_(kProj[v], 0, 0, GateType::Pi, static_cast<uint16_t>(v), 0, 0);
+  }
+
+  for (unsigned c = 1; c <= params.max_cost; ++c) {
+    // Unary: inverter on top of every cost-(c-1) function.
+    for (const uint16_t f : by_cost_[c - 1]) {
+      const Entry& ef = entries_[f];
+      settle_(static_cast<uint16_t>(~f), static_cast<uint8_t>(c),
+              static_cast<uint8_t>(ef.depth + 1), GateType::Not, f, 0, 0);
+    }
+    // Binary: all unordered pairs with operand costs summing to c-1.
+    for (unsigned i = 0; i + i <= c - 1; ++i) {
+      const unsigned j = c - 1 - i;
+      const auto& fi = by_cost_[i];
+      const auto& fj = by_cost_[j];
+      for (std::size_t x = 0; x < fi.size(); ++x) {
+        const std::size_t y0 = (i == j) ? x : 0;
+        for (std::size_t y = y0; y < fj.size(); ++y) {
+          const uint16_t a = fi[x];
+          const uint16_t b = fj[y];
+          const uint8_t depth = static_cast<uint8_t>(
+              1 + std::max(entries_[a].depth, entries_[b].depth));
+          for (const GateType op : kBinaryOps) {
+            settle_(eval_op(op, a, b, 0), static_cast<uint8_t>(c), depth, op, a, b, 0);
+          }
+        }
+      }
+    }
+    // Ternary: operand costs summing to c-1, i <= j <= k.
+    for (unsigned i = 0; 3 * i <= c - 1; ++i) {
+      for (unsigned j = i; i + 2 * j <= c - 1; ++j) {
+        const unsigned k = c - 1 - i - j;
+        for (const uint16_t a : by_cost_[i]) {
+          for (const uint16_t b : by_cost_[j]) {
+            if (i == j && b < a) continue;
+            for (const uint16_t cc : by_cost_[k]) {
+              if (j == k && cc < b) continue;
+              const uint8_t depth = static_cast<uint8_t>(
+                  1 + std::max({entries_[a].depth, entries_[b].depth, entries_[cc].depth}));
+              for (const GateType op : kTernaryOps) {
+                settle_(eval_op(op, a, b, cc), static_cast<uint8_t>(c), depth, op, a, b, cc);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // NPN class index over the cheap entries: representative table -> member.
+  // Only low-cost members are indexed; a fallback hit bridges with inverters,
+  // so expensive members would rarely win against the MFFC they replace.
+  for (unsigned c = 0; c <= std::min<unsigned>(params.npn_index_cost, params.max_cost); ++c) {
+    for (const uint16_t f : by_cost_[c]) {
+      npn_index_.push_back({npn_rep16(f), f});
+    }
+  }
+  // Keep the cheapest member per representative (ties broken by table value,
+  // so the index is deterministic).
+  std::sort(npn_index_.begin(), npn_index_.end(),
+            [this](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              if (entries_[a.second].cost != entries_[b.second].cost) {
+                return entries_[a.second].cost < entries_[b.second].cost;
+              }
+              return a.second < b.second;
+            });
+  npn_index_.erase(std::unique(npn_index_.begin(), npn_index_.end(),
+                               [](const auto& a, const auto& b) { return a.first == b.first; }),
+                   npn_index_.end());
+}
+
+const RewriteDb& RewriteDb::instance() {
+  static const RewriteDb db{Params{}};
+  return db;
+}
+
+std::optional<unsigned> RewriteDb::cost(uint16_t func) const {
+  if (entries_[func].cost == 0xff) {
+    return std::nullopt;
+  }
+  return entries_[func].cost;
+}
+
+std::optional<RewriteMatch> RewriteDb::match(const TruthTable& f) const {
+  if (f.num_vars() > 4) {
+    return std::nullopt;
+  }
+  const uint16_t target =
+      static_cast<uint16_t>((f.num_vars() == 4 ? f : f.extend_to(4)).word(0));
+
+  if (entries_[target].cost != 0xff) {
+    RewriteMatch m;
+    m.func = target;
+    m.gate_cost = entries_[target].cost;
+    m.depth = entries_[target].depth;
+    return m;
+  }
+
+  // NPN fallback: same class representative as an indexed member?
+  TruthTable tt(4);
+  tt.set_word(0, target);
+  const uint16_t rep = static_cast<uint16_t>(npn_canonize(tt).representative.word(0));
+  const auto it = std::lower_bound(npn_index_.begin(), npn_index_.end(),
+                                   std::make_pair(rep, uint16_t{0}));
+  if (it == npn_index_.end() || it->first != rep) {
+    return std::nullopt;
+  }
+  const uint16_t g = it->second;
+
+  // Find the concrete transform target = out ^ permute(flip(g)). Brute force
+  // over the 768 NPN transforms of g; one must hit, both share a class rep.
+  std::array<unsigned, 4> perm{0, 1, 2, 3};
+  do {
+    for (unsigned negmask = 0; negmask < 16; ++negmask) {
+      uint16_t t = g;
+      for (unsigned v = 0; v < 4; ++v) {
+        if ((negmask >> v) & 1) {
+          t = tt16_flip(t, v);
+        }
+      }
+      t = tt16_permute(t, perm);
+      for (int out = 0; out < 2; ++out) {
+        const uint16_t cand = out ? static_cast<uint16_t>(~t) : t;
+        if (cand != target) {
+          continue;
+        }
+        // target(x) = out ^ g(u) with g input j = x[perm^-1[j]] ^ neg[j];
+        // inverters only matter on variables g actually depends on.
+        RewriteMatch m;
+        m.func = g;
+        m.output_neg = out != 0;
+        unsigned bridge = out ? 1u : 0u;
+        std::array<unsigned, 4> inv_perm{};
+        for (unsigned i = 0; i < 4; ++i) {
+          inv_perm[perm[i]] = i;
+        }
+        for (unsigned j = 0; j < 4; ++j) {
+          m.input_leaf[j] = static_cast<uint8_t>(inv_perm[j]);
+          m.input_neg[j] = ((negmask >> j) & 1) && tt16_has_var(g, j);
+          bridge += m.input_neg[j] ? 1 : 0;
+        }
+        m.gate_cost = entries_[g].cost + bridge;
+        m.depth = entries_[g].depth + (m.output_neg ? 1 : 0) +
+                  (bridge > (m.output_neg ? 1u : 0u) ? 1 : 0);
+        return m;
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  assert(false && "NPN index inconsistent with canonizer");
+  return std::nullopt;
+}
+
+NodeId RewriteDb::build_(uint16_t func, const std::array<NodeId, 4>& inputs,
+                         Network& net) const {
+  const Entry& e = entries_[func];
+  assert(e.cost != 0xff && "instantiating an unsettled function");
+  switch (e.op) {
+    case GateType::Const0: return net.get_const0();
+    case GateType::Const1: return net.get_const1();
+    case GateType::Pi: return inputs[e.operand[0]];
+    default: break;
+  }
+  const unsigned arity = gate_arity(e.op);
+  std::vector<NodeId> fanins;
+  fanins.reserve(arity);
+  for (unsigned i = 0; i < arity; ++i) {
+    fanins.push_back(build_(e.operand[i], inputs, net));
+  }
+  return net.add_gate(e.op, fanins);
+}
+
+NodeId RewriteDb::instantiate(const RewriteMatch& match, const std::vector<NodeId>& leaves,
+                              Network& net) const {
+  std::array<NodeId, 4> inputs{};
+  for (unsigned j = 0; j < 4; ++j) {
+    const unsigned leaf = match.input_leaf[j];
+    NodeId in = leaf < leaves.size() ? leaves[leaf] : net.get_const0();
+    if (match.input_neg[j]) {
+      in = net.add_not(in);
+    }
+    inputs[j] = in;
+  }
+  NodeId root = build_(match.func, inputs, net);
+  if (match.output_neg) {
+    root = net.add_not(root);
+  }
+  return root;
+}
+
+}  // namespace t1sfq

@@ -1,0 +1,96 @@
+#pragma once
+/// \file rewrite_db.hpp
+/// \brief Precomputed structure database for cut rewriting (4-input functions).
+///
+/// The database answers "what is the cheapest known SFQ-gate structure for
+/// this Boolean function of up to 4 variables?". It is built once per process
+/// by a cost-bounded breadth-first search over truth tables: starting from
+/// projections and constants, every combination of settled functions through
+/// the cell vocabulary (Not, all six 2-input cells, And3/Or3/Xor3/Maj3)
+/// settles new functions at increasing gate count, so the first structure
+/// recorded for a function is gate-count optimal within the explored budget
+/// (ties broken toward smaller depth). Complement cells (Nand/Nor/Xnor) make
+/// negated functions first-class — essential here because the netlist model
+/// has no complemented edges and every explicit inverter is a real clocked
+/// cell.
+///
+/// Lookups are exact first (direct truth-table indexing). When the exact
+/// function was not reached within the budget, the lookup falls back to NPN
+/// matching (npn.hpp): if the function's NPN class representative has a known
+/// structure, the match records the input permutation/negations and output
+/// negation needed to bridge them, and instantiation inserts the
+/// corresponding inverters.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "network/network.hpp"
+#include "network/truth_table.hpp"
+
+namespace t1sfq {
+
+/// A successful database lookup: the stored function plus the wiring that
+/// turns it into the requested one. `input_leaf[j]` selects which of the
+/// caller's cut leaves feeds database variable j, complemented when
+/// `input_neg[j]`; the final output is complemented when `output_neg`.
+struct RewriteMatch {
+  uint16_t func = 0;                     ///< database key (4-var truth table)
+  std::array<uint8_t, 4> input_leaf{0, 1, 2, 3};
+  std::array<bool, 4> input_neg{false, false, false, false};
+  bool output_neg = false;
+  unsigned gate_cost = 0;   ///< structure gates incl. bridge inverters
+  unsigned depth = 0;       ///< structure levels incl. bridge inverters
+};
+
+class RewriteDb {
+public:
+  struct Params {
+    unsigned max_cost = 5;      ///< BFS gate budget per structure
+    unsigned npn_index_cost = 3;  ///< canonize entries up to this cost for NPN fallback
+  };
+
+  RewriteDb() : RewriteDb(Params{}) {}
+  explicit RewriteDb(const Params& params);
+
+  /// Process-wide database with default parameters (built lazily, thread-safe).
+  static const RewriteDb& instance();
+
+  /// Number of 4-variable functions with a known structure.
+  std::size_t num_settled() const { return num_settled_; }
+
+  /// Cheapest structure gate count for \p func, or nullopt when unexplored.
+  std::optional<unsigned> cost(uint16_t func) const;
+
+  /// Matches \p f (at most 4 variables; smaller functions are zero-extended).
+  /// Exact table lookup first, NPN-class fallback second.
+  std::optional<RewriteMatch> match(const TruthTable& f) const;
+
+  /// Materializes a match over \p leaves (indexed by the match's input_leaf)
+  /// in \p net and returns the structure's root. Structural hashing in
+  /// `add_gate` dedupes against existing logic, so the realized cost is at
+  /// most `gate_cost`.
+  NodeId instantiate(const RewriteMatch& match, const std::vector<NodeId>& leaves,
+                     Network& net) const;
+
+private:
+  struct Entry {
+    uint8_t cost = 0xff;  ///< 0xff = not settled
+    uint8_t depth = 0;
+    GateType op = GateType::Const0;  ///< Pi encodes "projection of var operand[0]"
+    std::array<uint16_t, 3> operand{0, 0, 0};
+  };
+
+  void settle_(uint16_t func, uint8_t cost, uint8_t depth, GateType op, uint16_t a,
+               uint16_t b, uint16_t c);
+  NodeId build_(uint16_t func, const std::array<NodeId, 4>& inputs, Network& net) const;
+
+  std::vector<Entry> entries_;              ///< indexed by 4-var truth table
+  std::vector<std::vector<uint16_t>> by_cost_;
+  std::size_t num_settled_ = 0;
+  /// NPN representative table -> settled member function.
+  std::vector<std::pair<uint16_t, uint16_t>> npn_index_;  ///< sorted by .first
+};
+
+}  // namespace t1sfq

@@ -16,6 +16,9 @@ FlowResult adder_flow(unsigned bits, bool use_t1) {
   FlowParams p;
   p.clk.phases = 4;
   p.use_t1 = use_t1;
+  // Seed-reproduction mode: these tests compare the T1 mechanism against the
+  // unoptimized baseline; the pre-mapping optimizer has its own tests.
+  p.opt.enable = false;
   return run_flow(net, p);
 }
 

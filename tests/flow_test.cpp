@@ -23,6 +23,10 @@ FlowParams make_params(unsigned phases, bool use_t1) {
   FlowParams p;
   p.clk.phases = phases;
   p.use_t1 = use_t1;
+  // Seed-reproduction mode: these tests pin the paper's T1 behavior on the
+  // generators' raw structures. Optimized flows are covered by opt_test.cpp
+  // and the random-flow property tests (which keep the optimizer on).
+  p.opt.enable = false;
   return p;
 }
 
