@@ -4,23 +4,32 @@
 /// Runs the T1 flow on every Table-I benchmark with the pre-mapping optimizer
 /// in five configurations — off, each pass alone, and the full pipeline — and
 /// reports the logical gate count entering/leaving the optimizer plus the
-/// Table-I columns (#DFF, area in JJ, depth in cycles, T1 cells used). Every
-/// optimized network is verified against the generator: word-parallel random
-/// simulation in full, and a SAT equivalence proof under a conflict budget
-/// (a counterexample fails the run; exceeding the budget reports "sim").
+/// Table-I columns (#DFF, area in JJ with its logic/DFF/splitter/clock
+/// breakdown, depth in cycles, T1 cells used). Every optimized network is
+/// verified against the generator: word-parallel random simulation in full,
+/// and a SAT equivalence proof under a conflict budget (a counterexample
+/// fails the run; exceeding the budget reports "sim").
+///
+/// The (benchmark × configuration) pairs run on a thread pool
+/// (benchmarks/runner.hpp) with deterministic, ordered output; --jobs 1
+/// reproduces the sequential run byte for byte.
 ///
 /// This is the acceptance harness for the optimizer: the "all" rows must
 /// never exceed the "off" rows in #DFF or depth, and must show strictly
 /// fewer gates on the adder/multiplier-class benchmarks.
 ///
-/// Usage: opt_ablation [--phases N] [--shrink K] [--no-verify] [--sat-budget C]
+/// Usage: opt_ablation [--phases N] [--shrink K] [--no-verify]
+///                     [--sat-budget C] [--jobs N]
 
+#include <atomic>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "benchmarks/runner.hpp"
 #include "benchmarks/suite.hpp"
 #include "core/flow.hpp"
 #include "network/equivalence.hpp"
@@ -42,12 +51,14 @@ constexpr Variant kVariants[] = {
     {"rs", true, false, false, true},
     {"all", true, true, true, true},
 };
+constexpr std::size_t kNumVariants = sizeof(kVariants) / sizeof(kVariants[0]);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   unsigned phases = 4;
   unsigned shrink = 4;
+  unsigned jobs = 0;
   bool verify = true;
   uint64_t sat_budget = 5000;
   for (int i = 1; i < argc; ++i) {
@@ -57,76 +68,86 @@ int main(int argc, char** argv) {
       shrink = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--sat-budget") == 0 && i + 1 < argc) {
       sat_budget = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--no-verify") == 0) {
       verify = false;
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]\n";
+                << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]"
+                   " [--jobs N]\n";
       return 2;
     }
   }
 
   const auto suite = shrink > 1 ? bench::make_suite_scaled(shrink) : bench::make_suite();
-  bool all_ok = true;
+  std::atomic<bool> all_ok{true};
+  std::vector<FlowMetrics> metrics(suite.size() * kNumVariants);
 
   std::cout << std::left << std::setw(12) << "benchmark" << std::setw(6) << "cfg"
             << std::right << std::setw(7) << "G.in" << std::setw(7) << "G.opt"
-            << std::setw(7) << "#DFF" << std::setw(9) << "Area" << std::setw(7)
-            << "Depth" << std::setw(6) << "T1" << std::setw(9) << "proof" << "\n";
+            << std::setw(7) << "#DFF" << std::setw(9) << "Area" << std::setw(22)
+            << "log/dff/spl/clk" << std::setw(7) << "Depth" << std::setw(6) << "T1"
+            << std::setw(9) << "proof" << "\n";
 
-  for (const auto& c : suite) {
-    const Network net = c.generate();
-    std::size_t off_dffs = 0;
-    Stage off_depth = 0;
-    std::size_t off_gates = 0;
-    for (const Variant& v : kVariants) {
-      FlowParams p;
-      p.clk.phases = phases;
-      p.opt.enable = v.enable;
-      p.opt.cut_rewriting = v.rewriting;
-      p.opt.balancing = v.balancing;
-      p.opt.resubstitution = v.resub;
-      const FlowResult res = run_flow(net, p);
+  std::vector<bench::Job> pairs;
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    for (std::size_t v = 0; v < kNumVariants; ++v) {
+      pairs.push_back([&, b, v](std::ostream& log) {
+        const auto& c = suite[b];
+        const Variant& var = kVariants[v];
+        const Network net = c.generate();
+        FlowParams p;
+        p.clk.phases = phases;
+        p.opt.enable = var.enable;
+        p.opt.cut_rewriting = var.rewriting;
+        p.opt.balancing = var.balancing;
+        p.opt.resubstitution = var.resub;
+        const FlowResult res = run_flow(net, p);
+        metrics[b * kNumVariants + v] = res.metrics;
 
-      std::string proof = "-";
-      if (verify && v.enable) {
-        if (!random_simulation_equal(res.mapped, net, 32)) {
-          proof = "SIM-FAIL";
-          all_ok = false;
-        } else {
-          const auto sat = check_equivalence_sat(res.mapped, net, sat_budget);
-          if (sat.result == EquivalenceResult::NotEquivalent) {
-            proof = "SAT-FAIL";
+        std::string proof = "-";
+        if (verify && var.enable) {
+          if (!random_simulation_equal(res.mapped, net, 32)) {
+            proof = "SIM-FAIL";
             all_ok = false;
           } else {
-            proof = sat.result == EquivalenceResult::Equivalent ? "SAT" : "sim";
+            const auto sat = check_equivalence_sat(res.mapped, net, sat_budget);
+            if (sat.result == EquivalenceResult::NotEquivalent) {
+              proof = "SAT-FAIL";
+              all_ok = false;
+            } else {
+              proof = sat.result == EquivalenceResult::Equivalent ? "SAT" : "sim";
+            }
           }
         }
-      }
 
-      std::cout << std::left << std::setw(12) << c.name << std::setw(6) << v.name
-                << std::right << std::setw(7) << res.metrics.pre_opt_gates << std::setw(7)
-                << res.metrics.opt_gates << std::setw(7) << res.metrics.num_dffs
-                << std::setw(9) << res.metrics.area_jj << std::setw(7)
-                << res.metrics.depth_cycles << std::setw(6) << res.metrics.t1_used
-                << std::setw(9) << proof << "\n";
+        const JJBreakdown& bd = res.metrics.breakdown;
+        std::ostringstream split;
+        split << bd.logic << "/" << bd.dff << "/" << bd.splitter << "/" << bd.clock;
+        log << std::left << std::setw(12) << c.name << std::setw(6) << var.name
+            << std::right << std::setw(7) << res.metrics.pre_opt_gates << std::setw(7)
+            << res.metrics.opt_gates << std::setw(7) << res.metrics.num_dffs
+            << std::setw(9) << res.metrics.area_jj << std::setw(22) << split.str()
+            << std::setw(7) << res.metrics.depth_cycles << std::setw(6)
+            << res.metrics.t1_used << std::setw(9) << proof << "\n";
+      });
+    }
+  }
+  bench::run_jobs(std::move(pairs), std::cout, jobs);
 
-      if (std::strcmp(v.name, "off") == 0) {
-        off_dffs = res.metrics.num_dffs;
-        off_depth = res.metrics.depth_cycles;
-        off_gates = res.metrics.opt_gates;
-      } else if (std::strcmp(v.name, "all") == 0) {
-        if (res.metrics.num_dffs > off_dffs || res.metrics.depth_cycles > off_depth) {
-          std::cerr << "[opt_ablation] REGRESSION on " << c.name << ": DFF "
-                    << off_dffs << " -> " << res.metrics.num_dffs << ", depth "
-                    << off_depth << " -> " << res.metrics.depth_cycles << "\n";
-          all_ok = false;
-        }
-        if (res.metrics.opt_gates >= off_gates) {
-          std::cerr << "[opt_ablation] note: no gate win on " << c.name << " ("
-                    << off_gates << " -> " << res.metrics.opt_gates << ")\n";
-        }
-      }
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    const FlowMetrics& off = metrics[b * kNumVariants + 0];
+    const FlowMetrics& all = metrics[b * kNumVariants + (kNumVariants - 1)];
+    if (all.num_dffs > off.num_dffs || all.depth_cycles > off.depth_cycles) {
+      std::cerr << "[opt_ablation] REGRESSION on " << suite[b].name << ": DFF "
+                << off.num_dffs << " -> " << all.num_dffs << ", depth "
+                << off.depth_cycles << " -> " << all.depth_cycles << "\n";
+      all_ok = false;
+    }
+    if (all.opt_gates >= off.opt_gates) {
+      std::cerr << "[opt_ablation] note: no gate win on " << suite[b].name << " ("
+                << off.opt_gates << " -> " << all.opt_gates << ")\n";
     }
   }
   return all_ok ? 0 : 1;

@@ -7,23 +7,32 @@
 ///   nφ   — n-phase clocking (default 4), no T1 cells (ASP-DAC'24 baseline),
 ///   T1   — n-phase clocking with T1 detection (the paper's contribution),
 /// and the table reports #path-balancing DFFs, area (JJ) and depth (cycles)
-/// plus the T1/1φ and T1/nφ ratio columns and the averages row.
+/// plus the T1/1φ and T1/nφ ratio columns, the averages row and the unified
+/// JJ breakdown block (logic/DFF/splitter/clock per flow stage).
+///
+/// The (benchmark × flow) pairs run on a thread pool (benchmarks/runner.hpp):
+/// every job regenerates its own network and flows are pure, so the output is
+/// deterministic and byte-identical to a sequential run (--jobs 1).
 ///
 /// Every T1 flow result is verified: SAT equivalence against the generator
 /// and a pulse-level simulation of the physical netlist (timing + function).
 ///
-/// Usage: table1 [--phases N] [--shrink K] [--no-verify] [--sat-budget C] [--opt]
+/// Usage: table1 [--phases N] [--shrink K] [--no-verify] [--sat-budget C]
+///               [--opt] [--jobs N]
 ///   --shrink K scales all benchmark widths down by K for quick runs.
 ///   --sat-budget C caps the SAT proof at C conflicts per output (default
 ///   5000; simulation and pulse-level checks always run in full).
 ///   --opt runs all three flows behind the pre-mapping optimizer (src/opt/).
 ///   The default reproduces the paper (no optimization); see
 ///   bench/opt_ablation.cpp for the per-pass effect of the optimizer.
+///   --jobs N sizes the thread pool (default: hardware concurrency).
 
+#include <atomic>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "benchmarks/runner.hpp"
 #include "benchmarks/suite.hpp"
 #include "core/flow.hpp"
 #include "core/report.hpp"
@@ -36,6 +45,7 @@ using namespace t1sfq;
 int main(int argc, char** argv) {
   unsigned phases = 4;
   unsigned shrink = 1;
+  unsigned jobs = 0;
   bool verify = true;
   bool opt = false;
   uint64_t sat_budget = 5000;
@@ -46,69 +56,73 @@ int main(int argc, char** argv) {
       shrink = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--sat-budget") == 0 && i + 1 < argc) {
       sat_budget = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--no-verify") == 0) {
       verify = false;
     } else if (std::strcmp(argv[i], "--opt") == 0) {
       opt = true;
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C] [--opt]\n";
+                << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]"
+                   " [--opt] [--jobs N]\n";
       return 2;
     }
   }
 
   const auto suite = shrink > 1 ? bench::make_suite_scaled(shrink) : bench::make_suite();
-  std::vector<TableRow> rows;
-  bool all_ok = true;
+  std::vector<TableRow> rows(suite.size());
+  std::atomic<bool> all_ok{true};
 
-  for (const auto& c : suite) {
-    const Network net = c.generate();
-    std::cerr << "[table1] " << c.name << ": " << net.num_gates() << " gates, depth "
-              << net.depth() << "\n";
+  // One job per (benchmark, flow): the T1 job also carries the verification.
+  std::vector<bench::Job> pairs;
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    rows[b].name = suite[b].name;
+    for (int flow = 0; flow < 3; ++flow) {
+      pairs.push_back([&, b, flow](std::ostream& log) {
+        const auto& c = suite[b];
+        const Network net = c.generate();
+        FlowParams p;
+        p.clk.phases = flow == 0 ? 1 : phases;
+        p.use_t1 = flow == 2;
+        p.opt.enable = opt;
+        if (flow == 0) {
+          log << "[table1] " << c.name << ": " << net.num_gates()
+              << " gates, depth " << net.depth() << "\n";
+        }
+        const FlowResult res = run_flow(net, p);
+        FlowMetrics& slot = flow == 0   ? rows[b].single_phase
+                            : flow == 1 ? rows[b].multi_phase
+                                        : rows[b].t1;
+        slot = res.metrics;
 
-    FlowParams p1;
-    p1.clk.phases = 1;
-    p1.use_t1 = false;
-    p1.opt.enable = opt;
-    FlowParams pn;
-    pn.clk.phases = phases;
-    pn.use_t1 = false;
-    pn.opt.enable = opt;
-    FlowParams pt;
-    pt.clk.phases = phases;
-    pt.use_t1 = true;
-    pt.opt.enable = opt;
-
-    TableRow row;
-    row.name = c.name;
-    row.single_phase = run_flow(net, p1).metrics;
-    row.multi_phase = run_flow(net, pn).metrics;
-    const FlowResult t1 = run_flow(net, pt);
-    row.t1 = t1.metrics;
-    rows.push_back(row);
-
-    if (verify) {
-      // Random word-parallel simulation (2048 vectors) is the falsifier; the
-      // SAT proof gets a conflict budget because miters over multiplier-class
-      // circuits are exponentially hard for CDCL — a budget-out counts as
-      // "verified by simulation", a counterexample fails the run.
-      const bool sim_ok = random_simulation_equal(t1.mapped, net, 32);
-      const bool pulse_ok =
-          pulse_verify(t1.physical.net, t1.physical.stage, pt.clk, net, 1);
-      const auto sat = check_equivalence_sat(t1.mapped, net, sat_budget);
-      const bool sat_refuted = sat.result == EquivalenceResult::NotEquivalent;
-      if (!sim_ok || !pulse_ok || sat_refuted) {
-        std::cerr << "[table1] VERIFICATION FAILED for " << c.name << " (sim=" << sim_ok
-                  << ", pulse=" << pulse_ok << ", sat refuted=" << sat_refuted << ")\n";
-        all_ok = false;
-      } else {
-        std::cerr << "[table1] " << c.name << " verified ("
-                  << (sat.result == EquivalenceResult::Equivalent ? "SAT-proved"
-                                                                  : "simulation")
-                  << " + pulse-level)\n";
-      }
+        if (flow == 2 && verify) {
+          // Random word-parallel simulation (2048 vectors) is the falsifier;
+          // the SAT proof gets a conflict budget because miters over
+          // multiplier-class circuits are exponentially hard for CDCL — a
+          // budget-out counts as "verified by simulation", a counterexample
+          // fails the run.
+          const bool sim_ok = random_simulation_equal(res.mapped, net, 32);
+          const bool pulse_ok =
+              pulse_verify(res.physical.net, res.physical.stage, p.clk, net, 1);
+          const auto sat = check_equivalence_sat(res.mapped, net, sat_budget);
+          const bool sat_refuted = sat.result == EquivalenceResult::NotEquivalent;
+          if (!sim_ok || !pulse_ok || sat_refuted) {
+            log << "[table1] VERIFICATION FAILED for " << c.name
+                << " (sim=" << sim_ok << ", pulse=" << pulse_ok
+                << ", sat refuted=" << sat_refuted << ")\n";
+            all_ok = false;
+          } else {
+            log << "[table1] " << c.name << " verified ("
+                << (sat.result == EquivalenceResult::Equivalent ? "SAT-proved"
+                                                                : "simulation")
+                << " + pulse-level)\n";
+          }
+        }
+      });
     }
   }
+  bench::run_jobs(std::move(pairs), std::cerr, jobs);
 
   print_table(std::cout, rows, phases);
 

@@ -37,8 +37,8 @@ int main() {
             << result.opt.total_applied << " rewrites; set opt.enable=false to skip)\n";
   std::cout << "T1 cells: found " << result.metrics.t1_found << ", used "
             << result.metrics.t1_used
-            << " (optimized adders are already xor3/maj3 pairs — run with "
-               "opt.enable=false to reproduce the paper's 7/7)\n";
+            << " (fused from optimized xor3/maj3 pairs by the unified cost "
+               "model; opt.enable=false reproduces the paper's 7/7)\n";
   std::cout << "path-balancing DFFs: " << result.metrics.num_dffs << "\n";
   std::cout << "area: " << result.metrics.area_jj << " JJ (" << result.metrics.num_splitters
             << " splitters)\n";

@@ -1,0 +1,80 @@
+#include "benchmarks/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace t1sfq {
+namespace bench {
+
+void run_jobs(std::vector<Job> jobs, std::ostream& log, unsigned threads) {
+  const std::size_t n = jobs.size();
+  if (n == 0) {
+    return;
+  }
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(std::min<std::size_t>(threads, n));
+
+  if (threads == 1) {
+    for (Job& job : jobs) {
+      std::ostringstream buf;
+      job(buf);
+      log << buf.str();
+    }
+    return;
+  }
+
+  std::vector<std::string> results(n);
+  std::vector<char> done(n, 0);
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) {
+        return;
+      }
+      std::ostringstream buf;
+      jobs[i](buf);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        results[i] = buf.str();
+        done[i] = 1;
+      }
+      cv.notify_one();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+
+  // Flush in order as prefixes complete, so progress is visible during long
+  // suites instead of only at the end.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < n; ++i) {
+      cv.wait(lock, [&] { return done[i] != 0; });
+      log << results[i];
+      log.flush();
+      results[i].clear();
+      results[i].shrink_to_fit();
+    }
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace bench
+}  // namespace t1sfq

@@ -1,5 +1,7 @@
 #include "core/dff_insertion.hpp"
 
+#include "cost/cost_model.hpp"
+
 #include <cassert>
 #include <map>
 #include <stdexcept>
@@ -27,7 +29,10 @@ public:
       out_.net.add_po(feed_from_spine_(pin, pa_.output_stage), net_.po_name(i));
     }
     out_.num_dffs = out_.net.count_of(GateType::Dff);
-    const auto fanouts = out_.net.fanout_counts();
+    // Splitter accounting via the unified model's fanout rule (T1 ports are
+    // readout paths, not splits), so the physical count and the logical
+    // estimate can never disagree on what counts as a split.
+    const std::vector<uint32_t> fanouts = splitter_fanouts(out_.net);
     for (NodeId id = 0; id < out_.net.size(); ++id) {
       if (!out_.net.is_dead(id) && fanouts[id] > 1) {
         out_.num_splitters += fanouts[id] - 1;

@@ -9,21 +9,8 @@ namespace t1sfq {
 
 uint64_t physical_area_jj(const PhysicalNetlist& phys, const CellLibrary& lib,
                           const AreaConfig& cfg) {
-  uint64_t area = 0;
-  std::size_t clocked = 0;
-  for (NodeId id = 0; id < phys.net.size(); ++id) {
-    const Node& n = phys.net.node(id);
-    if (n.dead) continue;
-    area += lib.jj_cost(n.type, n.port);
-    if (is_clocked(n.type)) {
-      ++clocked;
-    }
-  }
-  if (cfg.count_splitters) {
-    area += static_cast<uint64_t>(phys.num_splitters) * lib.jj_splitter;
-  }
-  area += static_cast<uint64_t>(clocked) * cfg.clock_jj_per_clocked;
-  return area;
+  const CostModel model(lib, cfg, MultiphaseConfig{});
+  return model.physical_breakdown(phys.net, phys.num_splitters).total();
 }
 
 FlowResult run_flow(const Network& input, const FlowParams& params) {
@@ -34,9 +21,11 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
 
   FlowResult result;
   result.mapped = input.cleanup();
+  const CostModel model = params.cost();
 
   result.metrics.pre_opt_gates = result.mapped.num_gates();
   result.metrics.pre_opt_depth = result.mapped.depth();
+  result.metrics.pre_opt_area_jj = model.network_breakdown(result.mapped).total();
   if (params.opt.enable) {
     OptParams op = params.opt;
     op.clk = params.clk;
@@ -47,14 +36,15 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
   }
   result.metrics.opt_gates = result.mapped.num_gates();
   result.metrics.opt_depth = result.mapped.depth();
+  result.metrics.opt_area_jj = model.network_breakdown(result.mapped).total();
 
   if (params.use_t1) {
     const T1DetectionStats det =
-        detect_and_replace_t1(result.mapped, params.lib, params.detection);
+        detect_and_replace_t1(result.mapped, model, params.detection);
     result.metrics.t1_found = det.found;
-    result.metrics.t1_used = det.used;
-    result.mapped = result.mapped.cleanup();
+    result.metrics.t1_used = det.used;  // detection compacts the network itself
   }
+  result.metrics.detect_area_jj = model.network_breakdown(result.mapped).total();
 
   PhaseAssignmentParams pp;
   pp.clk = params.clk;
@@ -73,7 +63,9 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
   result.metrics.num_splitters = result.physical.num_splitters;
   result.metrics.num_gates =
       result.physical.net.num_gates() - result.physical.num_dffs;
-  result.metrics.area_jj = physical_area_jj(result.physical, params.lib, params.area);
+  result.metrics.breakdown =
+      model.physical_breakdown(result.physical.net, result.physical.num_splitters);
+  result.metrics.area_jj = result.metrics.breakdown.total();
   // Depth in cycles: epoch of the last real firing (the virtual PO sink sits
   // one stage after the deepest balanced element).
   result.metrics.depth_cycles = params.clk.cycles(result.assignment.output_stage - 1);

@@ -17,6 +17,7 @@
 #include "core/dff_insertion.hpp"
 #include "core/phase_assignment.hpp"
 #include "core/t1_detection.hpp"
+#include "cost/cost_model.hpp"
 #include "network/network.hpp"
 #include "opt/pass.hpp"
 #include "sfq/cell_library.hpp"
@@ -40,13 +41,16 @@ struct FlowParams {
   /// `opt.enable = false` reproduces the unoptimized seed flows; `opt.clk`
   /// and `opt.lib` are overridden with the flow's own values.
   OptParams opt{};
+
+  /// The unified JJ cost model every stage of this flow prices against.
+  CostModel cost() const { return CostModel(lib, area, clk); }
 };
 
 struct FlowMetrics {
   std::size_t num_gates = 0;      ///< logic cells (incl. T1 bodies, excl. DFFs)
   std::size_t num_dffs = 0;       ///< path-balancing DFFs (Table I "#DFF")
   std::size_t num_splitters = 0;
-  uint64_t area_jj = 0;           ///< Table I "Area"
+  uint64_t area_jj = 0;           ///< Table I "Area" (= breakdown.total())
   Stage depth_cycles = 0;         ///< Table I "Depth"
   std::size_t t1_found = 0;
   std::size_t t1_used = 0;
@@ -56,6 +60,13 @@ struct FlowMetrics {
   std::size_t opt_gates = 0;      ///< gates after optimization (= pre when off)
   uint32_t opt_depth = 0;         ///< levels after optimization
   std::size_t opt_applied = 0;    ///< local transforms committed
+  // Unified JJ accounting (cost/cost_model.hpp), one currency per flow stage:
+  // ASAP shared-spine estimates for the logical stages, exact for the final
+  // physical netlist.
+  uint64_t pre_opt_area_jj = 0;   ///< estimate entering the optimizer
+  uint64_t opt_area_jj = 0;       ///< estimate after optimization
+  uint64_t detect_area_jj = 0;    ///< estimate after T1 detection
+  JJBreakdown breakdown{};        ///< final physical logic/DFF/splitter/clock split
 };
 
 struct FlowResult {

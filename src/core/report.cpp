@@ -95,6 +95,26 @@ void print_table(std::ostream& os, const std::vector<TableRow>& rows, unsigned p
   r2(s.depth_ratio_vs_1phi);
   r2(s.depth_ratio_vs_nphi);
   os << "\n";
+  os << "\n";
+  print_breakdown(os, rows);
+}
+
+void print_breakdown(std::ostream& os, const std::vector<TableRow>& rows) {
+  os << "Unified JJ accounting of the T1 flow (final physical split; stage "
+        "estimates under ASAP shared-spine planning)\n";
+  os << std::left << std::setw(12) << "benchmark" << std::right  //
+     << std::setw(9) << "logic" << std::setw(8) << "dff" << std::setw(8) << "spl"
+     << std::setw(8) << "clk" << std::setw(10) << "total"  //
+     << std::setw(10) << "est.in" << std::setw(10) << "est.opt" << std::setw(10)
+     << "est.t1" << "\n";
+  for (const TableRow& r : rows) {
+    const JJBreakdown& b = r.t1.breakdown;
+    os << std::left << std::setw(12) << r.name << std::right  //
+       << std::setw(9) << b.logic << std::setw(8) << b.dff << std::setw(8)
+       << b.splitter << std::setw(8) << b.clock << std::setw(10) << b.total()  //
+       << std::setw(10) << r.t1.pre_opt_area_jj << std::setw(10) << r.t1.opt_area_jj
+       << std::setw(10) << r.t1.detect_area_jj << "\n";
+  }
 }
 
 }  // namespace t1sfq

@@ -38,7 +38,13 @@ struct TableSummary {
 TableSummary summarize(const std::vector<TableRow>& rows);
 
 /// Prints the full table in the paper's column layout (T1 found/used, #DFF,
-/// Area, Depth, each with ratios vs 1φ and nφ) plus the averages row.
+/// Area, Depth, each with ratios vs 1φ and nφ) plus the averages row,
+/// followed by the unified JJ breakdown block (print_breakdown).
 void print_table(std::ostream& os, const std::vector<TableRow>& rows, unsigned phases);
+
+/// Prints the unified JJ accounting of the T1 flow: the final physical
+/// logic/DFF/splitter/clock split and the per-stage ASAP estimates
+/// (entering the optimizer -> optimized -> after T1 detection -> final).
+void print_breakdown(std::ostream& os, const std::vector<TableRow>& rows);
 
 }  // namespace t1sfq

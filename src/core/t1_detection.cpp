@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "core/t1_cell.hpp"
@@ -13,11 +15,13 @@ namespace t1sfq {
 
 namespace {
 
+constexpr int64_t kInfCost = std::numeric_limits<int64_t>::max() / 4;
+
 struct Match {
   NodeId root;
   T1PortFn fn;
   std::vector<NodeId> cone;  ///< MFFC(root) bounded by the group leaves
-  uint64_t cone_area = 0;
+  uint64_t cone_area = 0;    ///< raw library JJ (candidate ranking within a group)
 };
 
 struct Candidate {
@@ -46,17 +50,215 @@ bool is_candidate_root(GateType type) {
   }
 }
 
-}  // namespace
+/// Pricing context for one detection round: legal ASAP stages (eq. 3 aware),
+/// fanout counts/lists and the balanced-sink stage of the current network.
+struct StageContext {
+  std::vector<Stage> stage;
+  Stage output_stage = 1;
+  std::vector<uint32_t> fanout;
+  std::vector<std::vector<NodeId>> consumers;
+  std::vector<char> is_po;
 
-T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
-                                       const T1DetectionParams& params) {
+  explicit StageContext(const Network& net) {
+    stage = asap_stages(net, &output_stage);
+    fanout = net.fanout_counts();
+    consumers = net.fanout_lists();
+    is_po.assign(net.size(), 0);
+    for (const NodeId po : net.pos()) {
+      is_po[po] = 1;
+    }
+  }
+
+  /// Shared-spine length of \p d, optionally ignoring consumers in \p skip.
+  Stage spine(const MultiphaseConfig& clk, NodeId d,
+              const std::vector<NodeId>* skip = nullptr) const {
+    Stage len = 0;
+    for (const NodeId c : consumers[d]) {
+      if (skip && std::find(skip->begin(), skip->end(), c) != skip->end()) {
+        continue;
+      }
+      len = std::max(len, clk.dffs_on_edge(stage[d], stage[c]));
+    }
+    if (is_po[d]) {
+      len = std::max(len, clk.dffs_on_edge(stage[d], output_stage));
+    }
+    return len;
+  }
+};
+
+/// DFF cost of landing a pulse from stage \p sd at exact stage \p t when the
+/// producer already keeps a spine of \p ext DFFs for its surviving consumers.
+/// Slot-aligned chains (gap divisible by n) ride the spine; misaligned ones
+/// need one dedicated landing DFF on top of the shared prefix — charged only
+/// when \p charge_dedicated.
+int64_t landing_cost(Stage sd, Stage t, Stage n, Stage ext, bool charge_dedicated) {
+  if (t < sd) {
+    return kInfCost;
+  }
+  const Stage gap = t - sd;
+  if (gap == 0) {
+    return 0;
+  }
+  const Stage shared = gap / n;  // spine DFFs the chain can ride/extend
+  int64_t cost = std::max<Stage>(0, shared - ext);
+  if (gap % n != 0 && charge_dedicated) {
+    ++cost;
+  }
+  return cost;
+}
+
+/// Extended eq. 2: unified-JJ gain of fusing the candidate into one T1 cell.
+int64_t price_candidate(const Network& net, const CostModel& model,
+                        const StageContext& ctx, const T1DetectionParams& params,
+                        const Candidate& cand, const std::vector<T1PortFn>& fns) {
+  const CellLibrary& lib = model.lib();
+  const MultiphaseConfig& clk = model.clk();
+  const Stage n = static_cast<Stage>(clk.phases);
+
+  const auto in_cone = [&](NodeId id) {
+    return std::find(cand.cone_union.begin(), cand.cone_union.end(), id) !=
+           cand.cone_union.end();
+  };
+  const auto is_root = [&](NodeId id) {
+    return std::any_of(cand.matches.begin(), cand.matches.end(),
+                       [&](const Match& m) { return m.root == id; });
+  };
+
+  // -- Paper eq. 2 in raw library JJ. ----------------------------------------
+  int64_t union_area = 0;
+  for (const NodeId d : cand.cone_union) {
+    union_area += lib.jj_cost(net.node(d).type, net.node(d).port);
+  }
+  std::vector<T1PortFn> distinct;
+  for (const T1PortFn fn : fns) {
+    if (std::find(distinct.begin(), distinct.end(), fn) == distinct.end()) {
+      distinct.push_back(fn);
+    }
+  }
+  int64_t gain = union_area - static_cast<int64_t>(t1_area(lib, fns));
+  if (!params.dff_aware) {
+    return gain;
+  }
+
+  // -- Clock shares: every dying cell was clocked; the replacement is one
+  //    clocked body. (Port inverters are part of the port cost and carry no
+  //    clock share in the unified model — is_clocked(T1Port) is false — so
+  //    charging one here would disagree with the network-estimate guard.)
+  gain += model.clock_share() *
+          (static_cast<int64_t>(cand.cone_union.size()) - 1);
+
+  // -- Splitter collapse. ----------------------------------------------------
+  // Interior fanouts die outright (roots keep their consumers through the
+  // ports); each leaf's cone uses collapse to a single body input.
+  if (model.splitter_jj() > 0) {
+    int64_t reclaimed = 0;
+    for (const NodeId d : cand.cone_union) {
+      if (!is_root(d) && ctx.fanout[d] > 1) {
+        reclaimed += static_cast<int64_t>(ctx.fanout[d] - 1);
+      }
+    }
+    for (const NodeId leaf : cand.leaves) {
+      uint32_t uses = 0;
+      for (const NodeId d : cand.cone_union) {
+        const Node& nd = net.node(d);
+        for (uint8_t i = 0; i < nd.num_fanins; ++i) {
+          uses += nd.fanin(i) == leaf ? 1 : 0;
+        }
+      }
+      if (uses > 1 && ctx.fanout[leaf] > 1) {
+        reclaimed += std::min<uint32_t>(uses - 1, ctx.fanout[leaf] - 1);
+      }
+    }
+    gain += model.splitter_jj() * reclaimed;
+  }
+
+  // -- Phase alignment: DFF spines and eq.-3 landing chains. -----------------
+  // T1 stage under eq. 3 on the current (pre-commit) stages.
+  std::array<Stage, 3> ls;
+  for (unsigned i = 0; i < 3; ++i) {
+    ls[i] = ctx.stage[cand.leaves[i]];
+  }
+  std::array<Stage, 3> sorted = ls;
+  std::sort(sorted.begin(), sorted.end());
+  const Stage sigma = std::max({sorted[0] + 3, sorted[1] + 2, sorted[2] + 1});
+
+  int64_t dff_delta = 0;  // positive = savings
+  // Interior spines disappear with the cone.
+  for (const NodeId d : cand.cone_union) {
+    if (!is_root(d)) {
+      dff_delta += ctx.spine(clk, d);
+    }
+  }
+  // Root output spines: roots with the same function merge onto one port
+  // firing at sigma; spine lengths are re-measured from there.
+  for (const Match& m : cand.matches) {
+    dff_delta += ctx.spine(clk, m.root);
+  }
+  for (const T1PortFn fn : distinct) {
+    Stage port_spine = 0;
+    for (const Match& m : cand.matches) {
+      if (m.fn != fn) continue;
+      for (const NodeId c : ctx.consumers[m.root]) {
+        if (!in_cone(c)) {
+          port_spine = std::max(port_spine, clk.dffs_on_edge(sigma, ctx.stage[c]));
+        }
+      }
+      if (ctx.is_po[m.root]) {
+        port_spine = std::max(port_spine, clk.dffs_on_edge(sigma, ctx.output_stage));
+      }
+    }
+    dff_delta -= port_spine;
+  }
+  // Input side: each leaf trades the spine segment it kept for the cone
+  // against the landing chain of its slot (minimum over slot permutations).
+  std::array<Stage, 3> ext;
+  for (unsigned i = 0; i < 3; ++i) {
+    ext[i] = ctx.spine(clk, cand.leaves[i], &cand.cone_union);
+    dff_delta += ctx.spine(clk, cand.leaves[i]) - ext[i];
+  }
+  std::array<int, 3> slot{1, 2, 3};
+  int64_t best_landing = kInfCost;
+  do {
+    int64_t total = 0;
+    for (unsigned i = 0; i < 3 && total < kInfCost; ++i) {
+      const int64_t c = landing_cost(ls[i], sigma - slot[i], n, ext[i],
+                                     params.dff_pricing == T1DffPricing::Full);
+      total = c >= kInfCost ? kInfCost : total + c;
+    }
+    best_landing = std::min(best_landing, total);
+  } while (std::next_permutation(slot.begin(), slot.end()));
+  dff_delta -= best_landing >= kInfCost ? 0 : best_landing;
+
+  switch (params.dff_pricing) {
+    case T1DffPricing::Off:
+      dff_delta = 0;
+      break;
+    case T1DffPricing::Savings:
+      dff_delta = std::max<int64_t>(0, dff_delta);
+      break;
+    case T1DffPricing::Full:
+      break;
+  }
+  gain += model.dff_jj() * dff_delta;
+  return gain;
+}
+
+/// One detection sweep; commits greedily and reports the round statistics.
+/// \p found_keys carries the leaf triples already counted as "found" by
+/// earlier rounds (node ids stay stable across rounds; the network is only
+/// compacted after the last round), so re-discovered candidates are not
+/// double-counted in the Table-I statistic.
+T1DetectionStats detect_round(Network& net, const CostModel& model,
+                              const T1DetectionParams& params,
+                              std::set<std::array<NodeId, 3>>& found_keys) {
   T1DetectionStats stats;
+  const CellLibrary& lib = model.lib();
 
   CutEnumerationParams cp;
   cp.cut_size = 3;
   cp.max_cuts = params.max_cuts;
   const auto cuts = enumerate_cuts(net, cp);
-  const auto fanouts = net.fanout_counts();
+  const StageContext ctx(net);
 
   // -- Group matching cuts by their (sorted) leaf triple. ----------------------
   std::map<std::array<NodeId, 3>, std::vector<Match>> groups;
@@ -64,6 +266,16 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
     if (!is_candidate_root(net.node(id).type)) continue;
     for (const Cut& cut : cuts[id].cuts()) {
       if (cut.leaves.size() != 3) continue;
+      // A constant leaf would inject its fixed value as pulses into the
+      // storage loop — phase assignment rejects such bodies outright (the
+      // cut function can still formally depend on the leaf, so the support
+      // check alone does not catch this).
+      const bool const_leaf = std::any_of(
+          cut.leaves.begin(), cut.leaves.end(), [&](NodeId leaf) {
+            const GateType t = net.node(leaf).type;
+            return t == GateType::Const0 || t == GateType::Const1;
+          });
+      if (const_leaf) continue;
       const auto fn = classify_t1_function(cut.function);
       if (!fn) continue;
       const std::array<NodeId, 3> key{cut.leaves[0], cut.leaves[1], cut.leaves[2]};
@@ -75,7 +287,7 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
     }
   }
 
-  // -- Price the candidates (paper eq. 2). -------------------------------------
+  // -- Price the candidates (extended eq. 2). ----------------------------------
   std::vector<Candidate> candidates;
   for (auto& [leaves, matches] : groups) {
     if (matches.size() < params.min_cuts_per_group) continue;
@@ -83,7 +295,7 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
     cand.leaves = leaves;
     const std::vector<NodeId> stop(leaves.begin(), leaves.end());
     for (Match& m : matches) {
-      m.cone = mffc(net, m.root, fanouts, stop);
+      m.cone = mffc(net, m.root, ctx.fanout, stop);
       for (const NodeId n : m.cone) {
         m.cone_area += lib.jj_cost(net.node(n).type, net.node(n).port);
       }
@@ -97,13 +309,11 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
     cand.matches = matches;
 
     // Union of the cones (roots may nest inside each other's MFFC).
-    uint64_t union_area = 0;
     for (const Match& m : cand.matches) {
       for (const NodeId n : m.cone) {
         if (std::find(cand.cone_union.begin(), cand.cone_union.end(), n) ==
             cand.cone_union.end()) {
           cand.cone_union.push_back(n);
-          union_area += lib.jj_cost(net.node(n).type, net.node(n).port);
         }
       }
     }
@@ -111,9 +321,11 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
     for (const Match& m : cand.matches) {
       fns.push_back(m.fn);
     }
-    cand.gain = static_cast<int64_t>(union_area) - static_cast<int64_t>(t1_area(lib, fns));
+    cand.gain = price_candidate(net, model, ctx, params, cand, fns);
     if (cand.gain > 0 || !params.require_positive_gain) {
-      ++stats.found;
+      if (found_keys.insert(cand.leaves).second) {
+        ++stats.found;
+      }
       candidates.push_back(std::move(cand));
     }
   }
@@ -138,6 +350,21 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
     }
     return leaf;
   };
+  // Local gains rank the candidates; the unified network estimate is the
+  // gatekeeper: a commit must not increase the ASAP shared-spine JJ estimate
+  // of the whole netlist. This catches what no local pricing can (landing
+  // chains that fail to align, spines stretched behind the new body); a
+  // rejected candidate is not consumed, so the next round can retry it
+  // against the post-commit stage landscape.
+  // (Measurement probes are swept copies: the candidate's cone dangles until
+  // the end-of-round sweep, and an unswept cone would hide every win.)
+  const auto swept_estimate = [&model](const Network& n) {
+    Network probe = n;
+    probe.sweep_dangling();
+    return static_cast<int64_t>(model.network_breakdown(probe).total());
+  };
+  const bool guarded = params.require_positive_gain && params.dff_aware;
+  int64_t current_est = guarded ? swept_estimate(net) : 0;
   for (const Candidate& cand : candidates) {
     if (params.require_positive_gain && cand.gain <= 0) continue;
     bool conflict = false;
@@ -149,12 +376,26 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
     }
     if (conflict) continue;
 
-    const NodeId body = net.add_t1(resolve_leaf(cand.leaves[0]), resolve_leaf(cand.leaves[1]),
-                                   resolve_leaf(cand.leaves[2]));
+    Network trial = net;
+    const NodeId body = trial.add_t1(resolve_leaf(cand.leaves[0]),
+                                     resolve_leaf(cand.leaves[1]),
+                                     resolve_leaf(cand.leaves[2]));
+    std::vector<std::pair<NodeId, NodeId>> ports;
     for (const Match& m : cand.matches) {
-      const NodeId port = net.add_t1_port(body, m.fn);
-      net.substitute(m.root, port);
-      replacement[m.root] = port;
+      const NodeId port = trial.add_t1_port(body, m.fn);
+      trial.substitute(m.root, port);
+      ports.push_back({m.root, port});
+    }
+    if (guarded) {
+      const int64_t trial_est = swept_estimate(trial);
+      if (trial_est > current_est) {
+        continue;  // physically a loss here; maybe not after more fusion
+      }
+      current_est = trial_est;
+    }
+    net = std::move(trial);
+    for (const auto& [root, port] : ports) {
+      replacement[root] = port;
     }
     for (const NodeId n : cand.cone_union) {
       consumed[n] = 1;
@@ -165,6 +406,32 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
 
   net.sweep_dangling();
   return stats;
+}
+
+}  // namespace
+
+T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
+                                       const T1DetectionParams& params) {
+  T1DetectionStats stats;
+  std::set<std::array<NodeId, 3>> found_keys;
+  const unsigned rounds = std::max(1u, params.max_rounds);
+  for (unsigned round = 0; round < rounds; ++round) {
+    const T1DetectionStats r = detect_round(net, model, params, found_keys);
+    stats.found += r.found;
+    stats.used += r.used;
+    stats.estimated_gain += r.estimated_gain;
+    if (r.used == 0) {
+      break;  // fixed point: further rounds see the same landscape
+    }
+  }
+  net = net.cleanup();
+  return stats;
+}
+
+T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
+                                       const T1DetectionParams& params) {
+  return detect_and_replace_t1(net, CostModel(lib, AreaConfig{}, MultiphaseConfig{4}),
+                               params);
 }
 
 }  // namespace t1sfq

@@ -4,38 +4,88 @@
 ///
 /// Cut enumeration (3-leaf priority cuts) followed by Boolean matching: every
 /// set of 2..5 cuts that share the same three leaves and compute
-/// T1-implementable functions is a candidate. The candidate's gain is
+/// T1-implementable functions is a candidate. The candidate's base gain is
 ///
 ///     ΔA = Σ A(MFFC(u_i)) − A_T1(C)                (paper eq. 2)
 ///
 /// i.e. the area of everything that disappears when the roots are rerouted to
-/// T1 ports, minus the cell (plus inverters for C*/Q*). Candidates with
-/// ΔA > 0 are committed greedily in descending-gain order; a candidate is
-/// skipped when a previous commitment consumed any of its roots, cone nodes
-/// or leaves ("found" vs "used" in Table I).
+/// T1 ports, minus the cell (plus inverters for C*/Q*). On raw generator
+/// netlists that difference is large and eq. 2 alone recovers the paper's
+/// Table I. After pre-mapping optimization it is razor thin — an optimized
+/// full adder is a xor3+maj3 pair at 28 JJ against the 29 JJ T1 body — and
+/// raw eq. 2 silently converts nothing. `dff_aware` therefore extends the
+/// gain with the terms the unified cost model (cost/cost_model.hpp) can see
+/// locally:
+///   * clock-network shares — k dying clocked cells fund one clocked T1 body,
+///   * splitter collapse — leaves feeding several cone gates feed the
+///     time-multiplexed T1 inputs exactly once,
+///   * phase alignment — dying interior/root DFF spines, minus the eq.-3
+///     landing chains the T1 inputs need (landing DFFs that cannot ride an
+///     existing spine are charged only when `charge_dedicated_landings`).
+/// Candidates with ΔA > 0 are committed greedily in descending-gain order; a
+/// candidate is skipped when a previous commitment consumed any of its roots,
+/// cone nodes or leaves ("found" vs "used" in Table I).
+///
+/// Detection runs up to `max_rounds` times: every committed T1 reshapes the
+/// stage landscape (a carry port lands slot-aligned for free in the next
+/// adder), so gains that were negative in one round turn positive in the
+/// next and chain fusion cascades through ripple structures.
 
 #include <cstdint>
 #include <vector>
 
+#include "cost/cost_model.hpp"
 #include "network/network.hpp"
 #include "sfq/cell_library.hpp"
 
 namespace t1sfq {
+
+/// How the phase-alignment DFF delta enters the detection gain.
+enum class T1DffPricing {
+  Off,      ///< raw eq. 2 terms only (no DFF arithmetic)
+  /// Net DFF savings count, charges never veto a structural win
+  /// (max(0, delta)). Recommended: per-candidate charges at ASAP stages
+  /// assume the neighbours stay unconverted, which systematically
+  /// overprices chain fusion — measured on the 16-bit seed adder, full
+  /// charging converts 8/15 full adders for 1459 JJ where savings-only
+  /// converts 15/15 for 1165 JJ.
+  Savings,
+  Full,     ///< signed delta incl. dedicated landing DFFs (paper eq. 4)
+};
 
 struct T1DetectionParams {
   unsigned max_cuts = 16;           ///< priority cuts kept per node
   bool require_positive_gain = true;  ///< commit only when ΔA > 0
   unsigned min_cuts_per_group = 2;  ///< paper: 2 <= n <= 5
   unsigned max_cuts_per_group = 5;
+  /// Extend eq. 2 with the unified-model clock-share and splitter-collapse
+  /// terms (false reproduces the paper's raw gate-area pricing).
+  bool dff_aware = true;
+  /// DFF-alignment term mode (only meaningful when `dff_aware`).
+  T1DffPricing dff_pricing = T1DffPricing::Savings;
+  /// Detection rounds (each re-enumerates cuts on the rewritten network);
+  /// 1 reproduces single-shot detection.
+  unsigned max_rounds = 3;
 };
 
 struct T1DetectionStats {
   std::size_t found = 0;      ///< profitable candidate groups before conflicts
   std::size_t used = 0;       ///< T1 cells actually instantiated
-  int64_t estimated_gain = 0; ///< Σ ΔA over the committed groups
+  int64_t estimated_gain = 0; ///< Σ ΔA over the committed groups (unified JJ)
 };
 
-/// Rewrites \p net in place (dangling cones are swept); returns statistics.
+/// Rewrites \p net in place and compacts it (node ids are NOT stable across
+/// the call); returns statistics. The \p model supplies the unified JJ
+/// pricing (library, splitter/clock accounting, clocking for the spine
+/// arithmetic) — pass the flow's own model so detection prices at the phase
+/// count that will actually be scheduled.
+T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
+                                       const T1DetectionParams& params = {});
+
+/// Convenience overload for library-only callers (tests, examples): prices
+/// with default accounting and 4-phase clocking. Do not use from a flow with
+/// a different phase count — the DFF-aware terms and the commit gatekeeper
+/// would be evaluated at the wrong clocking.
 T1DetectionStats detect_and_replace_t1(Network& net, const CellLibrary& lib,
                                        const T1DetectionParams& params = {});
 

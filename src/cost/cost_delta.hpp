@@ -1,0 +1,109 @@
+#pragma once
+/// \file cost_delta.hpp
+/// \brief Incremental JJ pricing of local network restructurings.
+///
+/// Every optimization pass asks the same question: "if this cone dies and
+/// that replacement takes over its consumers, how many JJ does the die gain
+/// or lose?" The answer has four parts — gate bodies, clock shares, fanout
+/// splitters, and path-balancing DFFs under the shared-spine model — and
+/// getting any of them wrong re-introduces the currency mismatches this
+/// layer exists to remove.
+///
+/// `CostDelta` owns the per-node state the pricing needs (ASAP levels, fanout
+/// counts, consumer lists, PO membership) and exposes
+///   * primitives — `spine()`, `cone_jj()`, `cone_splitter_jj()` — for layers
+///     with a unique shape (T1 detection composes its own eq.-2 extension),
+///   * composite evaluators — `rewrite_delta()`, `resub_delta()` — for the
+///     two standard restructurings of the `src/opt` passes.
+/// All deltas are signed JJ; negative improves the network.
+///
+/// The DFF terms are estimates under ASAP stages (stage = level): exact for
+/// the dying cone's spines, and deliberately ignoring second-order effects
+/// (leaf spines stretching into a replacement structure, downstream re-
+/// balancing) that are bounded by the structure depth. The pass-level
+/// equivalence guard and the end-to-end metrics keep the estimates honest.
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "network/network.hpp"
+
+namespace t1sfq {
+
+class CostDelta {
+public:
+  CostDelta(const Network& net, const CostModel& model);
+
+  const CostModel& model() const { return model_; }
+
+  /// Recomputes all cached state from the network (call after a commit).
+  void refresh();
+
+  /// Appends levels for nodes created since the last refresh()/extend().
+  /// New nodes are plain gates, one level above their deepest fanin; fanout
+  /// and consumer state stays at the last refresh (new nodes read as 0).
+  void extend();
+
+  uint32_t level(NodeId id) const { return lvl_[id]; }
+  const std::vector<uint32_t>& levels() const { return lvl_; }
+  uint32_t fanout(NodeId id) const {
+    return id < fanout_.size() ? fanout_[id] : 0;
+  }
+  const std::vector<uint32_t>& fanouts() const { return fanout_; }
+  const std::vector<NodeId>& consumers(NodeId id) const;
+  bool is_po(NodeId id) const { return id < is_po_.size() && is_po_[id] != 0; }
+  /// Balanced-output sink stage (max PO level + 1).
+  Stage output_stage() const { return output_stage_; }
+
+  /// Shared-spine length of \p driver under ASAP stages: max over its
+  /// consumers (and the PO sink) of the balancing DFFs on that edge, plus any
+  /// \p extra consumer stages the caller is about to attach.
+  Stage spine(NodeId driver, const std::vector<Stage>& extra = {}) const;
+
+  /// Like spine(), but with the driver moved to \p at_level.
+  Stage spine_at(NodeId driver, uint32_t at_level,
+                 const std::vector<Stage>& extra = {}) const;
+
+  /// Gate + clock JJ of a node set.
+  int64_t cone_jj(const std::vector<NodeId>& cone) const {
+    return model_.cone_jj(net_, cone);
+  }
+
+  /// Splitter JJ reclaimed when \p cone dies: interior fanout splitters
+  /// (excluding the node \p keep_consumers_of, whose consumers survive on the
+  /// replacement pin) plus splitters on external fanins whose cone uses
+  /// collapse to at most one use by the replacement. A fanin equal to
+  /// \p skip_external_fanin is not reclaimed here — callers that re-route
+  /// consumers onto that pin account for its edge changes exactly.
+  int64_t cone_splitter_jj(const std::vector<NodeId>& cone, NodeId keep_consumers_of,
+                           NodeId skip_external_fanin = kNullNode) const;
+
+  /// DFF JJ of the spines of every cone node except \p exclude.
+  int64_t cone_spine_jj(const std::vector<NodeId>& cone, NodeId exclude) const;
+
+  /// Total JJ delta of replacing \p root's MFFC \p cone with a structure of
+  /// \p new_jj total gate+clock JJ whose root lands at \p new_level (at most
+  /// the old root level). The structure is assumed splitter-free (a tree;
+  /// structural hashing can only do better) and to use each leaf once.
+  int64_t rewrite_delta(NodeId root, const std::vector<NodeId>& cone, int64_t new_jj,
+                        uint32_t new_level) const;
+
+  /// Total JJ delta of rerouting \p target's consumers to \p donor and
+  /// letting \p cone (the target's MFFC) die. When \p invert, the reroute
+  /// goes through an inverter: \p existing_inv when not kNullNode, otherwise
+  /// a new Not cell is priced in.
+  int64_t resub_delta(NodeId target, const std::vector<NodeId>& cone, NodeId donor,
+                      bool invert, NodeId existing_inv) const;
+
+private:
+  const Network& net_;
+  CostModel model_;
+  std::vector<uint32_t> lvl_;
+  std::vector<uint32_t> fanout_;
+  std::vector<std::vector<NodeId>> consumers_;
+  std::vector<char> is_po_;
+  Stage output_stage_ = 1;
+};
+
+}  // namespace t1sfq

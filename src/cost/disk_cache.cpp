@@ -1,0 +1,78 @@
+#include "cost/disk_cache.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iterator>
+
+namespace t1sfq {
+
+namespace fs = std::filesystem;
+
+std::string cache_directory() {
+  std::error_code ec;
+  fs::path dir;
+  if (const char* env = std::getenv("T1SFQ_CACHE_DIR")) {
+    if (*env == '\0') {
+      return "";  // explicitly disabled
+    }
+    dir = env;
+  } else if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg && *xdg) {
+    dir = fs::path(xdg) / "t1sfq";
+  } else if (const char* home = std::getenv("HOME"); home && *home) {
+    dir = fs::path(home) / ".cache" / "t1sfq";
+  } else {
+    return "";
+  }
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir, ec)) {
+    return "";
+  }
+  return dir.string();
+}
+
+std::optional<std::vector<uint8_t>> read_blob(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return std::nullopt;
+  }
+  return blob;
+}
+
+bool write_blob(const std::string& path, const std::vector<uint8_t>& blob) {
+  // Unique-ish temp name per process; rename is atomic within a filesystem.
+  const std::string tmp = path + ".tmp." + std::to_string(
+      static_cast<unsigned long>(
+          std::hash<std::string>{}(path) ^ static_cast<unsigned long>(getpid())));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace t1sfq

@@ -1,0 +1,32 @@
+#pragma once
+/// \file disk_cache.hpp
+/// \brief Tiny on-disk blob cache for expensive precomputed artifacts.
+///
+/// Used by the rewrite database (opt/rewrite_db.hpp) to persist its BFS
+/// result across processes: the build costs a few hundred milliseconds per
+/// cost signature, the serialized blob loads in single-digit milliseconds.
+///
+/// The cache directory resolves, in order, to `$T1SFQ_CACHE_DIR`, then
+/// `$XDG_CACHE_HOME/t1sfq`, then `$HOME/.cache/t1sfq`; when none resolves
+/// (or `$T1SFQ_CACHE_DIR` is set but empty) caching is disabled and every
+/// read misses. Writes go through a temp file + rename so concurrent
+/// processes never observe a torn blob; all failures are silent (the caller
+/// falls back to rebuilding).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace t1sfq {
+
+/// Resolved cache directory (created on first call), or "" when disabled.
+std::string cache_directory();
+
+/// Reads a whole blob; nullopt on any failure.
+std::optional<std::vector<uint8_t>> read_blob(const std::string& path);
+
+/// Atomically (write temp + rename) stores a blob; false on any failure.
+bool write_blob(const std::string& path, const std::vector<uint8_t>& blob);
+
+}  // namespace t1sfq

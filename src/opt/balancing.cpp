@@ -1,5 +1,6 @@
 #include "opt/balancing.hpp"
 
+#include "cost/cost_model.hpp"
 #include <algorithm>
 #include <queue>
 #include <unordered_map>
@@ -50,11 +51,11 @@ struct TreePlan {
   uint64_t jj = 0;
 };
 
-TreePlan combine_tree(Family family, bool use_ternary, const CellLibrary& lib,
+TreePlan combine_tree(Family family, bool use_ternary, const CostModel& model,
                       std::vector<std::pair<uint32_t, NodeId>> operands, Network* net,
                       std::vector<uint32_t>* lvl, NodeId* root_out) {
-  const uint64_t jj2 = lib.jj_cost(binary_op(family));
-  const uint64_t jj3 = lib.jj_cost(ternary_op(family));
+  const uint64_t jj2 = static_cast<uint64_t>(model.cell_jj(binary_op(family)));
+  const uint64_t jj3 = static_cast<uint64_t>(model.cell_jj(ternary_op(family)));
   using Item = std::pair<uint32_t, NodeId>;
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue(
       std::greater<Item>{}, std::move(operands));
@@ -102,6 +103,7 @@ TreePlan combine_tree(Family family, bool use_ternary, const CellLibrary& lib,
 }  // namespace
 
 std::size_t BalancingPass::run(Network& net) {
+  const CostModel model = params_.cost();
   std::vector<uint32_t> lvl = net.levels();
   std::vector<uint32_t> fanout = net.fanout_counts();
   std::vector<std::vector<NodeId>> consumers = net.fanout_lists();
@@ -126,7 +128,7 @@ std::size_t BalancingPass::run(Network& net) {
       const NodeId id = stack.back();
       stack.pop_back();
       const Node& n = net.node(id);
-      old_jj += params_.lib.jj_cost(n.type);
+      old_jj += static_cast<uint64_t>(model.cell_jj(n.type));
       for (uint8_t i = 0; i < n.num_fanins; ++i) {
         const NodeId f = n.fanin(i);
         if (family_of(net.node(f).type) == family && fanout[f] == 1) {
@@ -178,7 +180,7 @@ std::size_t BalancingPass::run(Network& net) {
           const NodeId op = mask == 2u ? net.add_not(base) : base;
           if (net.size() > size_before) {
             extend_levels(net, lvl);
-            extra_jj += params_.lib.jj_not;
+            extra_jj += static_cast<uint64_t>(model.cell_jj(GateType::Not));
           }
           kept.push_back({lvl[op], op});
         }
@@ -196,11 +198,12 @@ std::size_t BalancingPass::run(Network& net) {
       extend_levels(net, lvl);
       new_level = lvl[new_root];
     } else {
-      const uint64_t jj_not = invert_output ? params_.lib.jj_not : 0;
+      const uint64_t jj_not =
+          invert_output ? static_cast<uint64_t>(model.cell_jj(GateType::Not)) : 0;
       const TreePlan ternary =
-          combine_tree(family, true, params_.lib, kept, nullptr, nullptr, nullptr);
+          combine_tree(family, true, model, kept, nullptr, nullptr, nullptr);
       const TreePlan binary =
-          combine_tree(family, false, params_.lib, kept, nullptr, nullptr, nullptr);
+          combine_tree(family, false, model, kept, nullptr, nullptr, nullptr);
       const bool pick_ternary = ternary.level < binary.level ||
                                 (ternary.level == binary.level && ternary.jj <= binary.jj);
       const TreePlan& plan = pick_ternary ? ternary : binary;
@@ -212,7 +215,7 @@ std::size_t BalancingPass::run(Network& net) {
           (plan_level == lvl[root] && plan_jj == old_jj)) {
         continue;
       }
-      combine_tree(family, pick_ternary, params_.lib, kept, &net, &lvl, &new_root);
+      combine_tree(family, pick_ternary, model, kept, &net, &lvl, &new_root);
       if (invert_output) {
         new_root = net.add_not(new_root);
       }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cost/cost_delta.hpp"
 #include "network/cut_enumeration.hpp"
 #include "network/mffc.hpp"
 #include "opt/rewrite_db.hpp"
@@ -9,15 +10,21 @@
 namespace t1sfq {
 
 std::size_t CutRewritingPass::run(Network& net) {
-  const RewriteDb& db = RewriteDb::instance();
+  RewriteDb::Params dbp;
+  dbp.lib = params_.lib;
+  dbp.clock_jj = params_.area.clock_jj_per_clocked;
+  // Rank structures with the same lambda the commit criterion below uses, so
+  // the database and the pass agree on what a level of depth is worth.
+  dbp.depth_penalty_jj = static_cast<unsigned>(params_.cost().dff_jj());
+  const RewriteDb& db = RewriteDb::instance(dbp);
+
   CutEnumerationParams cp;
   cp.cut_size = std::min(params_.cut_size, 4u);
   cp.max_cuts = params_.max_cuts;
   cp.compute_functions = true;
   const std::vector<CutSet> cuts = enumerate_cuts(net, cp);
 
-  std::vector<uint32_t> lvl = net.levels();
-  std::vector<uint32_t> fanout = net.fanout_counts();
+  CostDelta cd(net, params_.cost());
   // Roots committed earlier in this sweep become dangling; cuts of downstream
   // nodes may still name them as leaves, so leaf references are chased to
   // their live replacement (functions are preserved by every commit).
@@ -33,12 +40,13 @@ std::size_t CutRewritingPass::run(Network& net) {
   for (const NodeId root : net.topo_order()) {
     if (net.is_dead(root) || replaced_by[root] != kNullNode) continue;
     if (!is_opt_gate(net.node(root).type)) continue;
-    if (fanout[root] == 0) continue;  // dangling (e.g. interior of a prior commit)
+    if (cd.fanout(root) == 0) continue;  // dangling (e.g. interior of a prior commit)
 
     struct Candidate {
       RewriteMatch match;
       std::vector<NodeId> leaves;
-      int64_t gain = 0;
+      int64_t delta = 0;  ///< JJ; negative improves
+      int64_t score = 0;  ///< delta + depth term; the commit criterion
       uint32_t depth_est = 0;
     };
     std::optional<Candidate> best;
@@ -52,7 +60,7 @@ std::size_t CutRewritingPass::run(Network& net) {
       const auto match = db.match(cut.function);
       if (!match) continue;
 
-      const std::vector<NodeId> cone = mffc(net, root, fanout, leaves);
+      const std::vector<NodeId> cone = mffc(net, root, cd.fanouts(), leaves);
       // Pre-mapping networks hold plain gates only, but never touch a cone
       // that contains timing or T1 cells.
       bool clean = true;
@@ -64,40 +72,50 @@ std::size_t CutRewritingPass::run(Network& net) {
       }
       if (!clean) continue;
 
-      const int64_t gain =
-          static_cast<int64_t>(cone.size()) - static_cast<int64_t>(match->gate_cost);
       // Depth estimate from leaf levels; the realized level (measured after
       // instantiation) can only be lower thanks to structural hashing.
       uint32_t leaf_lvl = 0;
       for (const NodeId leaf : leaves) {
-        leaf_lvl = std::max(leaf_lvl, lvl[leaf]);
+        leaf_lvl = std::max(leaf_lvl, cd.level(leaf));
       }
       const uint32_t depth_est = leaf_lvl + match->depth;
-      if (gain < 0 || (gain == 0 && depth_est >= lvl[root])) continue;
 
-      if (!best || gain > best->gain ||
-          (gain == best->gain && depth_est < best->depth_est)) {
-        best = Candidate{*match, std::move(leaves), gain, depth_est};
+      // Candidate vs MFFC in unified JJ: gate bodies + clock shares +
+      // splitter and shared-spine DFF deltas. On top of the local delta, a
+      // level of depth is valued at the DFF marginal, mirroring the structure
+      // database's ranking: depth reductions shorten spines and, on critical
+      // paths, the balanced output stage itself — savings a local delta
+      // cannot see directly.
+      const int64_t delta = cd.rewrite_delta(root, cone, match->jj_cost, depth_est);
+      const int64_t score =
+          delta + (static_cast<int64_t>(depth_est) -
+                   static_cast<int64_t>(cd.level(root))) *
+                      cd.model().dff_jj();
+      if (score > 0 || (score == 0 && depth_est >= cd.level(root))) continue;
+
+      if (!best || score < best->score ||
+          (score == best->score && depth_est < best->depth_est)) {
+        best = Candidate{*match, std::move(leaves), delta, score, depth_est};
       }
     }
     if (!best) continue;
 
     const NodeId new_root = db.instantiate(best->match, best->leaves, net);
-    extend_levels(net, lvl);
+    cd.extend();
     if (new_root == root) continue;
     // Never regress depth: a commit whose realized root level exceeds the old
-    // one is abandoned (the dangling structure is swept at pass end).
-    if (lvl[new_root] > lvl[root] ||
-        (lvl[new_root] == lvl[root] && best->gain <= 0)) {
+    // one is abandoned, and one that realized no depth win must stand on a
+    // strict JJ improvement (the dangling structure is swept at pass end).
+    if (cd.level(new_root) > cd.level(root) ||
+        (cd.level(new_root) == cd.level(root) && best->delta >= 0)) {
       continue;
     }
     net.substitute(root, new_root);
     replaced_by.resize(net.size(), kNullNode);
     replaced_by[root] = new_root;
-    fanout = net.fanout_counts();
-    // Refresh levels so later depth guards see upstream improvements instead
-    // of the stale pass-entry values (which are only upper bounds).
-    lvl = net.levels();
+    // Refresh all cost state so later candidates price against upstream
+    // improvements instead of the stale pass-entry values.
+    cd.refresh();
     ++applied;
   }
 

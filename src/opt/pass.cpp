@@ -72,6 +72,9 @@ OptSummary PassManager::run(Network& net) {
   summary.depth_before = net.depth();
   summary.plan_dffs_before = estimate_plan_dffs(net, params_.clk);
 
+  const CostModel model = params_.cost();
+  summary.jj_before = model.network_breakdown(net).total();
+
   for (unsigned round = 0; round < params_.rounds; ++round) {
     std::size_t round_applied = 0;
     for (const auto& pass : passes_) {
@@ -81,6 +84,7 @@ OptSummary PassManager::run(Network& net) {
       ps.gates_before = net.num_gates();
       ps.depth_before = net.depth();
       ps.plan_dffs_before = estimate_plan_dffs(net, params_.clk);
+      ps.jj_before = model.network_breakdown(net).total();
 
       Network before;
       if (params_.verify) {
@@ -107,6 +111,7 @@ OptSummary PassManager::run(Network& net) {
       ps.gates_after = net.num_gates();
       ps.depth_after = net.depth();
       ps.plan_dffs_after = estimate_plan_dffs(net, params_.clk);
+      ps.jj_after = model.network_breakdown(net).total();
       round_applied += ps.applied;
       summary.passes.push_back(std::move(ps));
     }
@@ -118,6 +123,7 @@ OptSummary PassManager::run(Network& net) {
   summary.gates_after = net.num_gates();
   summary.depth_after = net.depth();
   summary.plan_dffs_after = estimate_plan_dffs(net, params_.clk);
+  summary.jj_after = model.network_breakdown(net).total();
   for (const PassStats& ps : summary.passes) {
     summary.total_applied += ps.applied;
   }
@@ -143,6 +149,7 @@ OptSummary optimize(Network& net, const OptParams& params) {
     OptSummary summary;
     summary.gates_before = summary.gates_after = net.num_gates();
     summary.depth_before = summary.depth_after = net.depth();
+    summary.jj_before = summary.jj_after = params.cost().network_breakdown(net).total();
     return summary;
   }
   PassManager manager = PassManager::standard(params);

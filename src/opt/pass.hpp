@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "cost/cost_model.hpp"
 #include "network/network.hpp"
 #include "sfq/cell_library.hpp"
 #include "sfq/clocking.hpp"
@@ -37,7 +38,7 @@ struct OptParams {
   bool cut_rewriting = true;
   bool balancing = true;
   bool resubstitution = true;
-  unsigned rounds = 2;           ///< pipeline repetitions (stops when converged)
+  unsigned rounds = 3;           ///< pipeline repetitions (stops when converged)
   unsigned cut_size = 4;         ///< rewriting cut width
   unsigned max_cuts = 12;        ///< priority cuts kept per node
   unsigned sim_words = 8;        ///< resub signature words (64 patterns each)
@@ -50,6 +51,9 @@ struct OptParams {
   MultiphaseConfig clk{4};       ///< clocking for the DFF-aware cost model
   CellLibrary lib{};             ///< area model for gain accounting
   AreaConfig area{};             ///< accounting switches (clock share per cell)
+
+  /// The unified JJ cost model every pass prices decisions through.
+  CostModel cost() const { return CostModel(lib, area, clk); }
 };
 
 enum class PassVerdict {
@@ -67,6 +71,8 @@ struct PassStats {
   uint32_t depth_before = 0, depth_after = 0;
   /// Shared-spine DFF estimate (plan_dffs on ASAP stages) around the pass.
   int64_t plan_dffs_before = 0, plan_dffs_after = 0;
+  /// Unified JJ estimate (CostModel::network_breakdown) around the pass.
+  uint64_t jj_before = 0, jj_after = 0;
   PassVerdict verdict = PassVerdict::Skipped;
 };
 
@@ -75,6 +81,7 @@ struct OptSummary {
   std::size_t gates_before = 0, gates_after = 0;
   uint32_t depth_before = 0, depth_after = 0;
   int64_t plan_dffs_before = 0, plan_dffs_after = 0;
+  uint64_t jj_before = 0, jj_after = 0;
   std::size_t total_applied = 0;
 };
 

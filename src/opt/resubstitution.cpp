@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cost/cost_delta.hpp"
 #include "network/equivalence.hpp"
 #include "network/mffc.hpp"
 #include "network/simulation.hpp"
@@ -39,15 +40,9 @@ std::size_t ResubstitutionPass::run(Network& net) {
   net = net.cleanup();  // ids ascend in topo order: donors below targets are never in the TFO
   const std::size_t n0 = net.size();
 
-  std::vector<uint32_t> lvl = net.levels();
-  std::vector<uint32_t> fanout = net.fanout_counts();
-  std::vector<std::vector<NodeId>> consumers = net.fanout_lists();
-  std::vector<char> is_po(n0, 0);
-  Stage output_stage = 1;
-  for (const NodeId po : net.pos()) {
-    is_po[po] = 1;
-    output_stage = std::max<Stage>(output_stage, static_cast<Stage>(lvl[po]) + 1);
-  }
+  // Unified JJ pricing: gate bodies + clock shares + splitters + the
+  // shared-spine DFF model, all through the incremental evaluator.
+  CostDelta cd(net, params_.cost());
 
   // Word-parallel signatures: `words` 64-bit words per node. The first word
   // pins the all-zero and all-one patterns into bits 0/1 so stuck-at signals
@@ -97,26 +92,6 @@ std::size_t ResubstitutionPass::run(Network& net) {
     return solver.solve({diff}, params_.sat_conflict_budget) == SatResult::Unsat;
   };
 
-  // Shared-spine length of one driver under ASAP stages (the plan_dffs
-  // per-driver term): max over consumers of ceil(gap / phases) - 1.
-  const auto spine_of = [&](NodeId d, const std::vector<Stage>& extra_stages) {
-    Stage len = 0;
-    const Stage sd = static_cast<Stage>(lvl[d]);
-    for (const NodeId c : consumers[d]) {
-      len = std::max(len, params_.clk.dffs_on_edge(sd, static_cast<Stage>(lvl[c])));
-    }
-    if (d < n0 && is_po[d]) {
-      len = std::max(len, params_.clk.dffs_on_edge(sd, output_stage));
-    }
-    for (const Stage sc : extra_stages) {
-      len = std::max(len, params_.clk.dffs_on_edge(sd, sc));
-    }
-    return len;
-  };
-  // DFF + its clock share — the same marginal the flow's area metric charges
-  // (7 JJ at defaults, the paper's implicit per-DFF cost).
-  const int64_t dff_marginal = params_.lib.jj_dff + params_.area.clock_jj_per_clocked;
-
   std::vector<char> alive(n0, 1);
   std::unordered_map<uint64_t, std::vector<NodeId>> index;
   std::size_t applied = 0;
@@ -126,7 +101,7 @@ std::size_t ResubstitutionPass::run(Network& net) {
     const bool donor_type = tn.type == GateType::Pi || tn.type == GateType::Const0 ||
                             tn.type == GateType::Const1 || is_opt_gate(tn.type);
 
-    if (alive[target] && is_opt_gate(tn.type) && fanout[target] > 0) {
+    if (alive[target] && is_opt_gate(tn.type) && cd.fanout(target) > 0) {
       // Gather signature-equal donors, plain and complemented.
       struct Candidate {
         NodeId donor;
@@ -136,26 +111,14 @@ std::size_t ResubstitutionPass::run(Network& net) {
       std::vector<Candidate> candidates;
       const uint64_t* tsig = &sig[static_cast<std::size_t>(target) * words];
 
-      // Stage positions of the target's current consumers (what the donor's
-      // spine must newly cover).
-      std::vector<Stage> absorbed;
-      for (const NodeId c : consumers[target]) {
-        absorbed.push_back(static_cast<Stage>(lvl[c]));
-      }
-      if (is_po[target]) {
-        absorbed.push_back(output_stage);
-      }
-
       // The dying cone depends only on the target: compute it once.
-      const std::vector<NodeId> dying = mffc(net, target, fanout);
+      const std::vector<NodeId> dying = mffc(net, target, cd.fanouts());
       bool cone_clean = true;
-      int64_t cone_jj = 0;
       for (const NodeId d : dying) {
         if (!is_opt_gate(net.node(d).type)) {
           cone_clean = false;
           break;
         }
-        cone_jj += params_.lib.jj_cost(net.node(d).type);
       }
       const auto in_cone = [&dying](NodeId id) {
         return std::find(dying.begin(), dying.end(), id) != dying.end();
@@ -172,38 +135,15 @@ std::size_t ResubstitutionPass::run(Network& net) {
           }
           const bool have_not = invert && not_of.count(donor) > 0;
           const uint32_t new_lvl =
-              invert ? (have_not ? lvl[not_of[donor]] : lvl[donor] + 1) : lvl[donor];
-          if (new_lvl > lvl[target]) continue;  // depth must never regress
+              invert ? (have_not ? cd.level(not_of[donor]) : cd.level(donor) + 1)
+                     : cd.level(donor);
+          if (new_lvl > cd.level(target)) continue;  // depth must never regress
           // A donor (or its inverter) inside the dying cone would survive the
           // substitution, invalidating the gain accounting: skip it.
           if (in_cone(donor) || (have_not && in_cone(not_of[donor]))) continue;
 
-          int64_t gain_jj = cone_jj;
-          if (invert && !have_not) {
-            gain_jj -= params_.lib.jj_not;
-          }
-
-          // Shared-spine delta: the donor-side spine stretches to the
-          // absorbed consumers, the dying cone's spines disappear. Fanins of
-          // the cone may shrink too; ignoring that only understates the gain.
-          int64_t dff_delta = 0;
-          if (!invert) {
-            dff_delta += spine_of(donor, absorbed) - spine_of(donor, {});
-          } else if (have_not) {
-            const NodeId inv_node = not_of[donor];
-            dff_delta += spine_of(inv_node, absorbed) - spine_of(inv_node, {});
-          } else {
-            const Stage s_not = static_cast<Stage>(lvl[donor]) + 1;
-            for (const Stage sc : absorbed) {
-              dff_delta = std::max(dff_delta,
-                                   static_cast<int64_t>(params_.clk.dffs_on_edge(s_not, sc)));
-            }
-          }
-          for (const NodeId d : dying) {
-            dff_delta -= spine_of(d, {});
-          }
-
-          const int64_t cost_delta = -gain_jj + dff_marginal * dff_delta;
+          const int64_t cost_delta = cd.resub_delta(
+              target, dying, donor, invert, have_not ? not_of[donor] : kNullNode);
           if (cost_delta >= 0) continue;
           candidates.push_back({donor, invert, cost_delta});
         }
@@ -224,7 +164,7 @@ std::size_t ResubstitutionPass::run(Network& net) {
         if (cand.invert) {
           new_node = net.add_not(cand.donor);
           not_of[cand.donor] = new_node;
-          extend_levels(net, lvl);
+          cd.extend();
         }
         net.substitute(target, new_node);
         // The cone may contain inverters created by earlier commits, whose
@@ -235,9 +175,8 @@ std::size_t ResubstitutionPass::run(Network& net) {
             alive[d] = 0;
           }
         }
-        fanout = net.fanout_counts();
-        consumers = net.fanout_lists();
-        lvl = net.levels();  // consumer levels may drop; keep spine math fresh
+        // Consumer levels may drop and fanouts move: keep the pricing fresh.
+        cd.refresh();
         ++applied;
         break;
       }

@@ -10,16 +10,13 @@
 ///
 /// The SFQ twist is the scoring. In a multiphase netlist a merged signal does
 /// not just save its MFFC's gates: the donor's DFF spine must now stretch to
-/// the absorbed consumers, while the spines of the dying cone disappear.
-/// Candidates are therefore scored with the shared-spine cost model of
-/// `plan_dffs` (phase_assignment.hpp), evaluated locally on ASAP stages:
-///
-///   delta = spine(donor | merged consumers) - spine(donor)
-///         - sum over the dying MFFC of spine(d)   [+ spine of a new inverter]
-///
-/// and a substitution is committed only when JJ area (gates removed minus
-/// inverter added, at CellLibrary costs) plus the DFF marginal cost of delta
-/// improves. Donors never sit above the target level, so depth never grows.
+/// the absorbed consumers, the spines and fanout splitters of the dying cone
+/// disappear, and the donor pin picks up splitters for its new consumers.
+/// Candidates are priced by `CostDelta::resub_delta` (cost/cost_delta.hpp) in
+/// the unified JJ currency — gate bodies + clock shares + splitters + the
+/// shared-spine DFF model of `plan_dffs` evaluated on ASAP stages — and a
+/// substitution is committed only when that delta improves. Donors never sit
+/// above the target level, so depth never grows.
 
 #include "opt/pass.hpp"
 

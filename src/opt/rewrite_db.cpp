@@ -2,8 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <functional>
+#include <tuple>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <unordered_map>
 
+#include "cost/cost_model.hpp"
+#include "cost/disk_cache.hpp"
 #include "network/npn.hpp"
 
 namespace t1sfq {
@@ -112,15 +120,128 @@ uint16_t npn_rep16(uint16_t t) {
   return best;
 }
 
+/// Serialization format version; bump on any layout or GateType change.
+constexpr uint32_t kCacheVersion = 5;
+constexpr char kCacheMagic[8] = {'T', '1', 'R', 'W', 'D', 'B', '0', '0'};
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v & 0xff));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  put_u16(out, static_cast<uint16_t>(v & 0xffff));
+  put_u16(out, static_cast<uint16_t>(v >> 16));
+}
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  put_u32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<uint32_t>(v >> 32));
+}
+
+struct BlobReader {
+  const std::vector<uint8_t>& blob;
+  std::size_t pos = 0;
+  bool ok = true;
+  uint8_t u8() {
+    if (pos + 1 > blob.size()) { ok = false; return 0; }
+    return blob[pos++];
+  }
+  uint16_t u16() {
+    const uint16_t lo = u8();
+    return static_cast<uint16_t>(lo | (static_cast<uint16_t>(u8()) << 8));
+  }
+  uint32_t u32() {
+    const uint32_t lo = u16();
+    return lo | (static_cast<uint32_t>(u16()) << 16);
+  }
+  uint64_t u64() {
+    const uint64_t lo = u32();
+    return lo | (static_cast<uint64_t>(u32()) << 32);
+  }
+};
+
+unsigned cell_marginal(const RewriteDb::Params& p, GateType op) {
+  return p.lib.jj_cost(op) + p.clock_jj;
+}
+
 }  // namespace
 
-void RewriteDb::settle_(uint16_t func, uint8_t cost, uint8_t depth, GateType op,
-                        uint16_t a, uint16_t b, uint16_t c) {
-  Entry& e = entries_[func];
-  if (e.cost < cost || (e.cost == cost && e.depth <= depth)) {
-    return;
+uint64_t RewriteDb::Params::signature() const {
+  uint64_t h = 14695981039346656037ULL;
+  h = fnv64_mix(h, kCacheVersion);
+  h = fnv64_mix(h, lib.jj_not);
+  h = fnv64_mix(h, lib.jj_and2);
+  h = fnv64_mix(h, lib.jj_or2);
+  h = fnv64_mix(h, lib.jj_xor2);
+  h = fnv64_mix(h, lib.jj_nand2);
+  h = fnv64_mix(h, lib.jj_nor2);
+  h = fnv64_mix(h, lib.jj_xnor2);
+  h = fnv64_mix(h, lib.jj_and3);
+  h = fnv64_mix(h, lib.jj_or3);
+  h = fnv64_mix(h, lib.jj_xor3);
+  h = fnv64_mix(h, lib.jj_maj3);
+  h = fnv64_mix(h, clock_jj);
+  h = fnv64_mix(h, max_jj);
+  h = fnv64_mix(h, npn_index_jj);
+  h = fnv64_mix(h, depth_penalty_jj);
+  return h;
+}
+
+bool RewriteDb::reaches_(uint16_t from, uint16_t target) const {
+  // DFS over the current structure references; small (depth <= the structure
+  // depth, arity <= 3) and memoized per call via the visited set.
+  std::vector<uint16_t> stack{from};
+  std::vector<uint16_t> seen;
+  while (!stack.empty()) {
+    const uint16_t f = stack.back();
+    stack.pop_back();
+    if (f == target) {
+      return true;
+    }
+    if (std::find(seen.begin(), seen.end(), f) != seen.end()) {
+      continue;
+    }
+    seen.push_back(f);
+    const Entry& e = entries_[f];
+    switch (e.op) {
+      case GateType::Const0:
+      case GateType::Const1:
+      case GateType::Pi:
+        break;
+      default:
+        for (unsigned i = 0; i < gate_arity(e.op); ++i) {
+          stack.push_back(e.operand[i]);
+        }
+    }
   }
-  const bool first = e.cost == 0xff;
+  return false;
+}
+
+void RewriteDb::settle_(uint16_t func, uint16_t cost, uint8_t depth, GateType op,
+                        uint16_t a, uint16_t b, uint16_t c, unsigned depth_penalty) {
+  Entry& e = entries_[func];
+  const bool first = e.cost == kUnsettled;
+  if (!first) {
+    // Composite ranking: a structure that saves depth is worth keeping even
+    // at a few more JJ. Replacement never re-buckets (expansion pairs are
+    // keyed by the first-settle JJ).
+    const uint64_t old_score =
+        e.cost + static_cast<uint64_t>(depth_penalty) * e.depth;
+    const uint64_t new_score =
+        cost + static_cast<uint64_t>(depth_penalty) * depth;
+    if (std::tie(old_score, e.cost, e.depth) <= std::tie(new_score, cost, depth)) {
+      return;
+    }
+    // Replacing an already-referenced structure is only sound while the
+    // reference graph stays acyclic (instantiate() recurses through it):
+    // reject replacements whose operands' current structures reach func.
+    const unsigned arity = op == GateType::Not ? 1 : gate_arity(op);
+    const std::array<uint16_t, 3> ops{a, b, c};
+    for (unsigned i = 0; i < arity; ++i) {
+      if (reaches_(ops[i], func)) {
+        return;
+      }
+    }
+  }
   e.cost = cost;
   e.depth = depth;
   e.op = op;
@@ -132,54 +253,82 @@ void RewriteDb::settle_(uint16_t func, uint8_t cost, uint8_t depth, GateType op,
 }
 
 RewriteDb::RewriteDb(const Params& params) : entries_(1u << 16) {
-  by_cost_.resize(params.max_cost + 1);
+  by_cost_.resize(params.max_jj + 1);
+  not_jj_ = cell_marginal(params, GateType::Not);
 
   // Cost-0 seeds: constants and projections. `op` doubles as the leaf marker
   // (Pi stores the variable index in operand[0]).
-  settle_(0x0000, 0, 0, GateType::Const0, 0, 0, 0);
-  settle_(0xffff, 0, 0, GateType::Const1, 0, 0, 0);
+  const unsigned dp = params.depth_penalty_jj;
+  settle_(0x0000, 0, 0, GateType::Const0, 0, 0, 0, dp);
+  settle_(0xffff, 0, 0, GateType::Const1, 0, 0, 0, dp);
   for (unsigned v = 0; v < 4; ++v) {
-    settle_(kProj[v], 0, 0, GateType::Pi, static_cast<uint16_t>(v), 0, 0);
+    settle_(kProj[v], 0, 0, GateType::Pi, static_cast<uint16_t>(v), 0, 0, dp);
   }
 
-  for (unsigned c = 1; c <= params.max_cost; ++c) {
-    // Unary: inverter on top of every cost-(c-1) function.
-    for (const uint16_t f : by_cost_[c - 1]) {
-      const Entry& ef = entries_[f];
-      settle_(static_cast<uint16_t>(~f), static_cast<uint8_t>(c),
-              static_cast<uint8_t>(ef.depth + 1), GateType::Not, f, 0, 0);
+  // JJ-ordered BFS: a structure settled at cost c is composed of one cell
+  // (its marginal JJ priced by the library, clock share included) over
+  // operands whose settled costs sum to c minus that marginal. Iterating c
+  // upward makes the first settlement of every function JJ-optimal within
+  // the budget.
+  for (unsigned c = 1; c <= params.max_jj; ++c) {
+    // Unary: inverter on top of every function at cost c - not_jj.
+    if (c >= not_jj_) {
+      for (const uint16_t f : by_cost_[c - not_jj_]) {
+        if (f == 0x0000 || f == 0xffff) continue;
+        const Entry& ef = entries_[f];
+        settle_(static_cast<uint16_t>(~f), static_cast<uint16_t>(c),
+                static_cast<uint8_t>(ef.depth + 1), GateType::Not, f, 0, 0, dp);
+      }
     }
-    // Binary: all unordered pairs with operand costs summing to c-1.
-    for (unsigned i = 0; i + i <= c - 1; ++i) {
-      const unsigned j = c - 1 - i;
-      const auto& fi = by_cost_[i];
-      const auto& fj = by_cost_[j];
-      for (std::size_t x = 0; x < fi.size(); ++x) {
-        const std::size_t y0 = (i == j) ? x : 0;
-        for (std::size_t y = y0; y < fj.size(); ++y) {
-          const uint16_t a = fi[x];
-          const uint16_t b = fj[y];
-          const uint8_t depth = static_cast<uint8_t>(
-              1 + std::max(entries_[a].depth, entries_[b].depth));
-          for (const GateType op : kBinaryOps) {
-            settle_(eval_op(op, a, b, 0), static_cast<uint8_t>(c), depth, op, a, b, 0);
+    // Binary: all unordered operand pairs with costs summing to c - op_jj.
+    // Constant operands are excluded everywhere: `add_gate` folds a
+    // const-fed cell into a smaller one at instantiation (xor2(x,1) becomes
+    // a Not), so a structure priced with a constant operand would understate
+    // its realized JJ — and every such function is reachable directly.
+    const auto is_const_fn = [](uint16_t f) { return f == 0x0000 || f == 0xffff; };
+    for (const GateType op : kBinaryOps) {
+      const unsigned op_jj = cell_marginal(params, op);
+      if (c < op_jj) continue;
+      const unsigned rem = c - op_jj;
+      for (unsigned i = 0; i + i <= rem; ++i) {
+        const unsigned j = rem - i;
+        const auto& fi = by_cost_[i];
+        const auto& fj = by_cost_[j];
+        for (std::size_t x = 0; x < fi.size(); ++x) {
+          const std::size_t y0 = (i == j) ? x : 0;
+          for (std::size_t y = y0; y < fj.size(); ++y) {
+            const uint16_t a = fi[x];
+            const uint16_t b = fj[y];
+            if (is_const_fn(a) || is_const_fn(b)) continue;
+            const uint8_t depth = static_cast<uint8_t>(
+                1 + std::max(entries_[a].depth, entries_[b].depth));
+            settle_(eval_op(op, a, b, 0), static_cast<uint16_t>(c), depth, op, a, b, 0,
+                    dp);
           }
         }
       }
     }
-    // Ternary: operand costs summing to c-1, i <= j <= k.
-    for (unsigned i = 0; 3 * i <= c - 1; ++i) {
-      for (unsigned j = i; i + 2 * j <= c - 1; ++j) {
-        const unsigned k = c - 1 - i - j;
-        for (const uint16_t a : by_cost_[i]) {
-          for (const uint16_t b : by_cost_[j]) {
-            if (i == j && b < a) continue;
-            for (const uint16_t cc : by_cost_[k]) {
-              if (j == k && cc < b) continue;
-              const uint8_t depth = static_cast<uint8_t>(
-                  1 + std::max({entries_[a].depth, entries_[b].depth, entries_[cc].depth}));
-              for (const GateType op : kTernaryOps) {
-                settle_(eval_op(op, a, b, cc), static_cast<uint8_t>(c), depth, op, a, b, cc);
+    // Ternary: operand costs summing to c - op_jj, i <= j <= k.
+    for (const GateType op : kTernaryOps) {
+      const unsigned op_jj = cell_marginal(params, op);
+      if (c < op_jj) continue;
+      const unsigned rem = c - op_jj;
+      for (unsigned i = 0; 3 * i <= rem; ++i) {
+        for (unsigned j = i; i + 2 * j <= rem; ++j) {
+          const unsigned k = rem - i - j;
+          for (const uint16_t a : by_cost_[i]) {
+            if (is_const_fn(a)) continue;
+            for (const uint16_t b : by_cost_[j]) {
+              if (i == j && b < a) continue;
+              if (is_const_fn(b)) continue;
+              for (const uint16_t cc : by_cost_[k]) {
+                if (j == k && cc < b) continue;
+                if (is_const_fn(cc)) continue;
+                const uint8_t depth = static_cast<uint8_t>(
+                    1 + std::max({entries_[a].depth, entries_[b].depth,
+                                  entries_[cc].depth}));
+                settle_(eval_op(op, a, b, cc), static_cast<uint16_t>(c), depth, op, a,
+                        b, cc, dp);
               }
             }
           }
@@ -188,10 +337,12 @@ RewriteDb::RewriteDb(const Params& params) : entries_(1u << 16) {
     }
   }
 
+  finalize_costs_(params);
+
   // NPN class index over the cheap entries: representative table -> member.
   // Only low-cost members are indexed; a fallback hit bridges with inverters,
   // so expensive members would rarely win against the MFFC they replace.
-  for (unsigned c = 0; c <= std::min<unsigned>(params.npn_index_cost, params.max_cost); ++c) {
+  for (unsigned c = 0; c <= std::min(params.npn_index_jj, params.max_jj); ++c) {
     for (const uint16_t f : by_cost_[c]) {
       npn_index_.push_back({npn_rep16(f), f});
     }
@@ -209,15 +360,193 @@ RewriteDb::RewriteDb(const Params& params) : entries_(1u << 16) {
   npn_index_.erase(std::unique(npn_index_.begin(), npn_index_.end(),
                                [](const auto& a, const auto& b) { return a.first == b.first; }),
                    npn_index_.end());
+  by_cost_.clear();
+  by_cost_.shrink_to_fit();
 }
 
-const RewriteDb& RewriteDb::instance() {
-  static const RewriteDb db{Params{}};
-  return db;
+void RewriteDb::finalize_costs_(const Params& params) {
+  // Score-based re-settling can replace an operand's structure after a
+  // parent recorded its cost, so the BFS-time cost/depth fields may
+  // understate what instantiate() actually builds. Recompute both from the
+  // final structures, bottom-up, so `jj_cost` is again a true upper bound on
+  // the realized JJ (cut rewriting's commit criterion relies on it).
+  // Acyclicity is enforced at replacement time in settle_.
+  std::vector<uint8_t> state(entries_.size(), 0);  // 0 fresh, 1 visiting, 2 done
+  const std::function<void(uint16_t)> visit = [&](uint16_t func) {
+    Entry& e = entries_[func];
+    if (e.cost == kUnsettled || state[func] == 2) {
+      return;
+    }
+    assert(state[func] != 1 && "rewrite-db structure references cycle");
+    state[func] = 1;
+    switch (e.op) {
+      case GateType::Const0:
+      case GateType::Const1:
+      case GateType::Pi:
+        break;
+      default: {
+        const unsigned arity = gate_arity(e.op);
+        unsigned total = cell_marginal(params, e.op);
+        uint8_t depth = 0;
+        for (unsigned i = 0; i < arity; ++i) {
+          visit(e.operand[i]);
+          total += entries_[e.operand[i]].cost;
+          depth = std::max(depth, entries_[e.operand[i]].depth);
+        }
+        e.cost = static_cast<uint16_t>(total);
+        e.depth = static_cast<uint8_t>(depth + 1);
+      }
+    }
+    state[func] = 2;
+  };
+  for (uint32_t func = 0; func < entries_.size(); ++func) {
+    visit(static_cast<uint16_t>(func));
+  }
+}
+
+RewriteDb::RewriteDb(std::vector<Entry> entries,
+                     std::vector<std::pair<uint16_t, uint16_t>> npn_index,
+                     std::size_t settled, unsigned not_jj)
+    : entries_(std::move(entries)),
+      num_settled_(settled),
+      not_jj_(not_jj),
+      npn_index_(std::move(npn_index)) {}
+
+std::vector<uint8_t> RewriteDb::serialize(const Params& params) const {
+  std::vector<uint8_t> blob;
+  blob.reserve(36 + num_settled_ * 12 + npn_index_.size() * 4);
+  blob.insert(blob.end(), kCacheMagic, kCacheMagic + sizeof(kCacheMagic));
+  put_u32(blob, kCacheVersion);
+  put_u64(blob, params.signature());
+  put_u32(blob, static_cast<uint32_t>(num_settled_));
+  put_u32(blob, static_cast<uint32_t>(npn_index_.size()));
+  put_u64(blob, 0);  // payload checksum, patched below
+  const std::size_t payload_start = blob.size();
+  for (uint32_t func = 0; func < entries_.size(); ++func) {
+    const Entry& e = entries_[func];
+    if (e.cost == kUnsettled) continue;
+    put_u16(blob, static_cast<uint16_t>(func));
+    put_u16(blob, e.cost);
+    blob.push_back(e.depth);
+    blob.push_back(static_cast<uint8_t>(e.op));
+    put_u16(blob, e.operand[0]);
+    put_u16(blob, e.operand[1]);
+    put_u16(blob, e.operand[2]);
+  }
+  for (const auto& [rep, member] : npn_index_) {
+    put_u16(blob, rep);
+    put_u16(blob, member);
+  }
+  // FNV-1a over the payload: header checks alone cannot catch a bit-flipped
+  // operand, which would silently instantiate the wrong function.
+  uint64_t sum = 14695981039346656037ULL;
+  for (std::size_t i = payload_start; i < blob.size(); ++i) {
+    sum = fnv64_mix(sum, blob[i]);
+  }
+  for (unsigned b = 0; b < 8; ++b) {
+    blob[payload_start - 8 + b] = static_cast<uint8_t>(sum >> (8 * b));
+  }
+  return blob;
+}
+
+std::optional<RewriteDb> RewriteDb::deserialize(const std::vector<uint8_t>& blob,
+                                                const Params& params) {
+  BlobReader r{blob};
+  char magic[8];
+  for (char& ch : magic) {
+    ch = static_cast<char>(r.u8());
+  }
+  if (!r.ok || std::memcmp(magic, kCacheMagic, sizeof(kCacheMagic)) != 0) {
+    return std::nullopt;
+  }
+  if (r.u32() != kCacheVersion || r.u64() != params.signature()) {
+    return std::nullopt;
+  }
+  const uint32_t settled = r.u32();
+  const uint32_t npn_count = r.u32();
+  const uint64_t checksum = r.u64();
+  if (!r.ok || blob.size() != r.pos + 12ull * settled + 4ull * npn_count) {
+    return std::nullopt;
+  }
+  uint64_t sum = 14695981039346656037ULL;
+  for (std::size_t i = r.pos; i < blob.size(); ++i) {
+    sum = fnv64_mix(sum, blob[i]);
+  }
+  if (sum != checksum) {
+    return std::nullopt;
+  }
+  std::vector<Entry> entries(1u << 16);
+  for (uint32_t i = 0; i < settled; ++i) {
+    const uint16_t func = r.u16();
+    Entry e;
+    e.cost = r.u16();
+    e.depth = r.u8();
+    e.op = static_cast<GateType>(r.u8());
+    e.operand = {r.u16(), r.u16(), r.u16()};
+    // Finalized costs can exceed the BFS bucket budget by a few JJ (operand
+    // structures re-settled shallower-but-pricier), so bound loosely.
+    if (e.cost == kUnsettled || e.cost > 4 * params.max_jj ||
+        static_cast<uint8_t>(e.op) > static_cast<uint8_t>(GateType::T1Port) ||
+        entries[func].cost != kUnsettled) {
+      return std::nullopt;
+    }
+    entries[func] = e;
+  }
+  std::vector<std::pair<uint16_t, uint16_t>> npn_index(npn_count);
+  for (auto& [rep, member] : npn_index) {
+    rep = r.u16();
+    member = r.u16();
+  }
+  if (!r.ok) {
+    return std::nullopt;
+  }
+  // The NPN index must be sorted (lookup uses lower_bound) and point at
+  // settled members only.
+  for (std::size_t i = 0; i < npn_index.size(); ++i) {
+    if (entries[npn_index[i].second].cost == kUnsettled ||
+        (i > 0 && npn_index[i].first <= npn_index[i - 1].first)) {
+      return std::nullopt;
+    }
+  }
+  return RewriteDb(std::move(entries), std::move(npn_index), settled,
+                   cell_marginal(params, GateType::Not));
+}
+
+std::string RewriteDb::cache_file_name(const Params& params) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "rewrite_db_v%u_%016llx.bin", kCacheVersion,
+                static_cast<unsigned long long>(params.signature()));
+  return buf;
+}
+
+const RewriteDb& RewriteDb::instance(const Params& params) {
+  static std::mutex mu;
+  static std::unordered_map<uint64_t, std::unique_ptr<const RewriteDb>> registry;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = registry[params.signature()];
+  if (!slot) {
+    const std::string dir = cache_directory();
+    const std::string path = dir.empty() ? "" : dir + "/" + cache_file_name(params);
+    if (!path.empty()) {
+      if (const auto blob = read_blob(path)) {
+        if (auto db = deserialize(*blob, params)) {
+          slot.reset(new RewriteDb(std::move(*db)));
+        }
+      }
+    }
+    if (!slot) {
+      auto built = std::unique_ptr<RewriteDb>(new RewriteDb(params));
+      if (!path.empty()) {
+        write_blob(path, built->serialize(params));
+      }
+      slot = std::move(built);
+    }
+  }
+  return *slot;
 }
 
 std::optional<unsigned> RewriteDb::cost(uint16_t func) const {
-  if (entries_[func].cost == 0xff) {
+  if (entries_[func].cost == kUnsettled) {
     return std::nullopt;
   }
   return entries_[func].cost;
@@ -230,10 +559,10 @@ std::optional<RewriteMatch> RewriteDb::match(const TruthTable& f) const {
   const uint16_t target =
       static_cast<uint16_t>((f.num_vars() == 4 ? f : f.extend_to(4)).word(0));
 
-  if (entries_[target].cost != 0xff) {
+  if (entries_[target].cost != kUnsettled) {
     RewriteMatch m;
     m.func = target;
-    m.gate_cost = entries_[target].cost;
+    m.jj_cost = entries_[target].cost;
     m.depth = entries_[target].depth;
     return m;
   }
@@ -281,7 +610,8 @@ std::optional<RewriteMatch> RewriteDb::match(const TruthTable& f) const {
           m.input_neg[j] = ((negmask >> j) & 1) && tt16_has_var(g, j);
           bridge += m.input_neg[j] ? 1 : 0;
         }
-        m.gate_cost = entries_[g].cost + bridge;
+        // Every bridge inverter is a real clocked cell at the Not marginal.
+        m.jj_cost = entries_[g].cost + bridge * not_jj_;
         m.depth = entries_[g].depth + (m.output_neg ? 1 : 0) +
                   (bridge > (m.output_neg ? 1u : 0u) ? 1 : 0);
         return m;
@@ -295,7 +625,7 @@ std::optional<RewriteMatch> RewriteDb::match(const TruthTable& f) const {
 NodeId RewriteDb::build_(uint16_t func, const std::array<NodeId, 4>& inputs,
                          Network& net) const {
   const Entry& e = entries_[func];
-  assert(e.cost != 0xff && "instantiating an unsettled function");
+  assert(e.cost != kUnsettled && "instantiating an unsettled function");
   switch (e.op) {
     case GateType::Const0: return net.get_const0();
     case GateType::Const1: return net.get_const1();

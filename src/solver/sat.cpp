@@ -408,16 +408,20 @@ void SatSolver::reduce_db_() {
 }
 
 uint64_t SatSolver::luby_(uint64_t i) {
-  // Luby sequence: 1 1 2 1 1 2 4 ...
-  uint64_t k = 1;
-  while ((uint64_t{1} << k) - 1 < i + 1) {
-    ++k;
+  // Luby sequence: 1 1 2 1 1 2 4 ... (Minisat's formulation; the previous
+  // subtractive variant underflowed k for i = 3, 11, ... — caught by UBSan).
+  uint64_t size = 1;
+  uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
   }
-  while ((uint64_t{1} << k) - 1 != i + 1) {
-    --k;
-    i -= (uint64_t{1} << k) - 1;
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i %= size;
   }
-  return uint64_t{1} << (k - 1);
+  return uint64_t{1} << seq;
 }
 
 SatResult SatSolver::solve(const std::vector<Lit>& assumptions, uint64_t conflict_budget) {

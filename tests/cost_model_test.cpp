@@ -1,0 +1,437 @@
+/// Unit and regression tests for the unified JJ cost-model layer (src/cost/):
+/// CostModel arithmetic and breakdowns, CostDelta pricing primitives, the
+/// library-keyed rewrite database with its on-disk cache, and the end-to-end
+/// properties the layer exists for — T1 detection winning on *optimized*
+/// full-adder netlists again, and a non-default CellLibrary genuinely
+/// reshaping every layer's decisions.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "benchmarks/arith.hpp"
+#include "benchmarks/epfl.hpp"
+#include "benchmarks/suite.hpp"
+#include "core/flow.hpp"
+#include "cost/cost_delta.hpp"
+#include "cost/cost_model.hpp"
+#include "cost/disk_cache.hpp"
+#include "network/equivalence.hpp"
+#include "network/simulation.hpp"
+#include "opt/rewrite_db.hpp"
+
+namespace t1sfq {
+namespace {
+
+CellLibrary perturbed_library() {
+  CellLibrary pert;  // denser process: cheap splitters, pricey DFFs and XORs
+  pert.jj_dff = 10;
+  pert.jj_splitter = 1;
+  pert.jj_xor2 = 12;
+  pert.jj_xor3 = 20;
+  return pert;
+}
+
+/// The optimized form of a full adder: one xor3 + one maj3 over shared leaves.
+Network optimized_full_adder() {
+  Network net("fa_opt");
+  const NodeId a = net.add_pi("a");
+  const NodeId b = net.add_pi("b");
+  const NodeId c = net.add_pi("cin");
+  net.add_po(net.add_gate(GateType::Xor3, {a, b, c}), "sum");
+  net.add_po(net.add_maj(a, b, c), "cout");
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// CostModel
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, MarginalsFollowTheConfiguration) {
+  const CostModel m{CellLibrary{}, AreaConfig{}, MultiphaseConfig{4}};
+  EXPECT_EQ(m.cell_jj(GateType::And2), 10 + 1);  // body + clock share
+  EXPECT_EQ(m.cell_jj(GateType::Pi), 0);         // unclocked interface
+  EXPECT_EQ(m.dff_jj(), 7);                      // the paper's implicit 7 JJ/DFF
+  EXPECT_EQ(m.splitter_jj(), 3);
+
+  AreaConfig no_split;
+  no_split.count_splitters = false;
+  no_split.clock_jj_per_clocked = 0;
+  const CostModel bare{CellLibrary{}, no_split, MultiphaseConfig{4}};
+  EXPECT_EQ(bare.cell_jj(GateType::And2), 10);
+  EXPECT_EQ(bare.dff_jj(), 6);
+  EXPECT_EQ(bare.splitter_jj(), 0);
+}
+
+TEST(CostModel, SignatureSeparatesEveryCostParameter) {
+  const CostModel base{CellLibrary{}, AreaConfig{}, MultiphaseConfig{4}};
+  CellLibrary lib2;
+  lib2.jj_xor2 = 99;
+  AreaConfig area2;
+  area2.clock_jj_per_clocked = 2;
+  EXPECT_NE(base.signature(),
+            (CostModel{lib2, AreaConfig{}, MultiphaseConfig{4}}.signature()));
+  EXPECT_NE(base.signature(),
+            (CostModel{CellLibrary{}, area2, MultiphaseConfig{4}}.signature()));
+  EXPECT_NE(base.signature(),
+            (CostModel{CellLibrary{}, AreaConfig{}, MultiphaseConfig{6}}.signature()));
+  EXPECT_EQ(base.signature(),
+            (CostModel{CellLibrary{}, AreaConfig{}, MultiphaseConfig{4}}.signature()));
+}
+
+TEST(CostModel, PhysicalBreakdownMatchesTheFlowArea) {
+  Network net("rca6");
+  const Word a = add_pi_word(net, 6, "a");
+  const Word b = add_pi_word(net, 6, "b");
+  add_po_word(net, ripple_carry_adder(net, a, b, net.get_const0()), "s");
+
+  FlowParams p;
+  p.clk.phases = 4;
+  const FlowResult res = run_flow(net, p);
+  EXPECT_EQ(res.metrics.breakdown.total(), res.metrics.area_jj);
+  EXPECT_EQ(physical_area_jj(res.physical, p.lib, p.area), res.metrics.area_jj);
+  // DFF bucket is exactly the materialized DFF bodies.
+  EXPECT_EQ(res.metrics.breakdown.dff, res.metrics.num_dffs * p.lib.jj_dff);
+  // Per-stage estimates are populated and the chain in -> opt is monotone
+  // (the optimizer never worsens its own objective).
+  EXPECT_GT(res.metrics.pre_opt_area_jj, 0u);
+  EXPECT_LE(res.metrics.opt_area_jj, res.metrics.pre_opt_area_jj);
+  EXPECT_GT(res.metrics.detect_area_jj, 0u);
+}
+
+TEST(CostModel, NetworkBreakdownHandlesT1Stages) {
+  // asap_stages must place a T1 body at the eq.-3 stage, and the estimate
+  // must include its landing chains.
+  Network net = optimized_full_adder();
+  const CostModel m{CellLibrary{}, AreaConfig{}, MultiphaseConfig{4}};
+  const uint64_t before = m.network_breakdown(net).total();
+  T1DetectionParams dp;
+  dp.require_positive_gain = false;  // force the conversion
+  detect_and_replace_t1(net, m, dp);
+  net = net.cleanup();
+  ASSERT_EQ(net.count_of(GateType::T1), 1u);
+  Stage out = 0;
+  const auto stage = asap_stages(net, &out);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (net.node(id).type == GateType::T1) {
+      EXPECT_EQ(stage[id], 3);  // PIs at 0, eq. 3 forces sigma = 3
+    }
+  }
+  // Standalone, the T1 realization is priced higher than the 2-gate one —
+  // exactly why the default (guarded) detection declines it; see
+  // GuardDeclinesStandaloneOptimizedAdder.
+  EXPECT_GT(m.network_breakdown(net).total(), before);
+}
+
+// ---------------------------------------------------------------------------
+// CostDelta
+// ---------------------------------------------------------------------------
+
+TEST(CostDelta, SpineAndConePricing) {
+  // a -> n1 -> n2 -> ... chain; the driver's spine follows dffs_on_edge.
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  NodeId x = net.add_and(a, b);
+  for (int i = 0; i < 8; ++i) {
+    x = net.add_and(x, b);  // deep chain: b's spine spans all levels
+  }
+  net.add_po(x);
+  const CostModel m{CellLibrary{}, AreaConfig{}, MultiphaseConfig{4}};
+  const CostDelta cd(net, m);
+  // b feeds consumers at levels 1..9 from level 0: spine = ceil(9/4)-1 = 2.
+  EXPECT_EQ(cd.spine(b), 2);
+  EXPECT_EQ(cd.spine(a), 0);  // only consumer at level 1
+  // Cone of one And2 costs body + clock share.
+  EXPECT_EQ(cd.cone_jj({x}), m.cell_jj(GateType::And2));
+}
+
+TEST(CostDelta, ResubDeltaPrefersSharingAndReclaimsTheCone) {
+  // Two structurally distinct but equivalent signals; rerouting the target's
+  // consumer to the donor must price the dying cone as a gain.
+  Network net;
+  const NodeId a = net.add_pi();
+  const NodeId b = net.add_pi();
+  const NodeId donor = net.add_and(a, b);
+  const NodeId target = net.add_gate(GateType::Nand2, {a, b});
+  const NodeId target_inv = net.add_not(target);  // and(a,b) again
+  net.add_po(donor);
+  net.add_po(net.add_or(target_inv, a));
+  const CostModel m{CellLibrary{}, AreaConfig{}, MultiphaseConfig{4}};
+  const CostDelta cd(net, m);
+  const std::vector<NodeId> cone{target_inv, target};
+  const int64_t delta = cd.resub_delta(target_inv, cone, donor, false, kNullNode);
+  // Nand2 + Not die (11+1 + 9+1 = 22 JJ); the donor pin gains one splitter.
+  EXPECT_LT(delta, 0);
+  EXPECT_LE(delta, -(m.cell_jj(GateType::Nand2) + m.cell_jj(GateType::Not)) +
+                       m.splitter_jj());
+}
+
+// ---------------------------------------------------------------------------
+// RewriteDb: library sensitivity and the disk cache
+// ---------------------------------------------------------------------------
+
+TEST(RewriteDb, DifferentLibraryReshapesStructureChoices) {
+  // Acceptance demo: with XOR cells priced out, the database settles
+  // xor-class functions through AND/OR/NOT decompositions instead.
+  RewriteDb::Params cheap;  // defaults
+  RewriteDb::Params pricey;
+  pricey.lib.jj_xor2 = 120;
+  pricey.lib.jj_xnor2 = 120;
+  pricey.lib.jj_xor3 = 120;
+  ASSERT_NE(cheap.signature(), pricey.signature());
+
+  const RewriteDb& db_cheap = RewriteDb::instance(cheap);
+  const RewriteDb& db_pricey = RewriteDb::instance(pricey);
+  const uint16_t kXor2 = 0x6666;  // x0 ^ x1 on 4 vars
+  ASSERT_TRUE(db_cheap.cost(kXor2).has_value());
+  ASSERT_TRUE(db_pricey.cost(kXor2).has_value());
+  EXPECT_EQ(*db_cheap.cost(kXor2), cheap.lib.jj_xor2 + cheap.clock_jj);
+  // The pricey library must realize the function without any xor-family cell
+  // (the cheapest decomposition is well under the 120 JJ cell).
+  EXPECT_LT(*db_pricey.cost(kXor2), 120u);
+  EXPECT_NE(*db_cheap.cost(kXor2), *db_pricey.cost(kXor2));
+
+  TruthTable f(4);
+  f.set_word(0, kXor2);
+  const auto match = db_pricey.match(f);
+  ASSERT_TRUE(match.has_value());
+  Network net;
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 4; ++i) {
+    leaves.push_back(net.add_pi());
+  }
+  net.add_po(db_pricey.instantiate(*match, leaves, net));
+  EXPECT_EQ(net.count_of(GateType::Xor2), 0u);
+  EXPECT_EQ(net.count_of(GateType::Xnor2), 0u);
+  EXPECT_EQ(net.count_of(GateType::Xor3), 0u);
+  EXPECT_EQ(simulate_truth_tables(net)[0], f);
+}
+
+TEST(RewriteDb, RecordedCostBoundsTheRealizedStructure) {
+  // The commit criterion of cut rewriting relies on `jj_cost` being an upper
+  // bound on what instantiate() builds. Two historical leaks are pinned here:
+  // score-based re-settling changing an operand after a parent recorded its
+  // cost (fixed by finalize), and const-fed structures that `add_gate` folds
+  // into different cells (fixed by excluding constant operands in the BFS).
+  const RewriteDb& db = RewriteDb::instance();
+  const CellLibrary lib;
+  std::mt19937_64 rng(99);
+  for (int iter = 0; iter < 500; ++iter) {
+    const uint16_t func = static_cast<uint16_t>(rng());
+    TruthTable f(4);
+    f.set_word(0, func);
+    const auto m = db.match(f);
+    if (!m || m->func != func) continue;  // exact entries only
+    Network net;
+    std::vector<NodeId> leaves;
+    for (int i = 0; i < 4; ++i) {
+      leaves.push_back(net.add_pi());
+    }
+    net.add_po(db.instantiate(*m, leaves, net));
+    uint64_t realized = 0;
+    for (NodeId id = 0; id < net.size(); ++id) {
+      const Node& n = net.node(id);
+      if (!n.dead && is_clocked(n.type)) {
+        realized += lib.jj_cost(n.type) + 1;  // default clock share
+      }
+    }
+    EXPECT_LE(realized, m->jj_cost) << "func 0x" << std::hex << func;
+  }
+}
+
+TEST(RewriteDb, SerializationRoundTripsAndRejectsMismatches) {
+  RewriteDb::Params p;
+  p.max_jj = 24;  // small build: fast, still multi-level
+  p.npn_index_jj = 20;
+  const RewriteDb db(p);
+  const std::vector<uint8_t> blob = db.serialize(p);
+
+  const auto restored = RewriteDb::deserialize(blob, p);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_settled(), db.num_settled());
+  for (uint16_t func : {uint16_t{0x6666}, uint16_t{0x8888}, uint16_t{0x0110}}) {
+    EXPECT_EQ(restored->cost(func), db.cost(func)) << func;
+  }
+
+  // Wrong params (different signature) must miss.
+  RewriteDb::Params q = p;
+  q.max_jj = 25;
+  EXPECT_FALSE(RewriteDb::deserialize(blob, q).has_value());
+  // Truncation and corruption must miss, never crash.
+  std::vector<uint8_t> cut(blob.begin(), blob.begin() + blob.size() / 2);
+  EXPECT_FALSE(RewriteDb::deserialize(cut, p).has_value());
+  std::vector<uint8_t> flipped = blob;
+  flipped[4] ^= 0xff;  // header (version field)
+  EXPECT_FALSE(RewriteDb::deserialize(flipped, p).has_value());
+  // A single bit-flip in the payload (a structure operand) must fail the
+  // checksum — size and header checks alone cannot see it, and a wrong
+  // operand would silently instantiate the wrong function.
+  std::vector<uint8_t> rotted = blob;
+  rotted[blob.size() / 2] ^= 0x01;
+  EXPECT_FALSE(RewriteDb::deserialize(rotted, p).has_value());
+}
+
+TEST(RewriteDb, DiskCachePersistsAcrossInstances) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "t1sfq_cache_test").string();
+  std::filesystem::remove_all(dir);
+  setenv("T1SFQ_CACHE_DIR", dir.c_str(), 1);
+
+  RewriteDb::Params p;
+  p.max_jj = 26;  // unique params: not shared with other tests' instances
+  p.npn_index_jj = 20;
+  const RewriteDb& built = RewriteDb::instance(p);
+  const std::string path = dir + "/" + RewriteDb::cache_file_name(p);
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+
+  // The persisted blob restores an identical database.
+  const auto blob = read_blob(path);
+  ASSERT_TRUE(blob.has_value());
+  const auto restored = RewriteDb::deserialize(*blob, p);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_settled(), built.num_settled());
+
+  // A corrupted cache file falls back to nullopt at the deserialize layer
+  // (instance() then rebuilds in process).
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  const auto bad = read_blob(path);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(RewriteDb::deserialize(*bad, p).has_value());
+
+  unsetenv("T1SFQ_CACHE_DIR");
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// T1 detection on optimized netlists (the PR's headline regression)
+// ---------------------------------------------------------------------------
+
+TEST(T1CostRegression, OptimizedAdder16ConvertsAndWins) {
+  Network net("rca16");
+  const Word a = add_pi_word(net, 16, "a");
+  const Word b = add_pi_word(net, 16, "b");
+  add_po_word(net, ripple_carry_adder(net, a, b, net.get_const0()), "s");
+
+  FlowParams base;
+  base.clk.phases = 4;
+  base.use_t1 = false;
+  base.opt.enable = true;
+  FlowParams t1 = base;
+  t1.use_t1 = true;
+  const FlowResult off = run_flow(net, base);
+  const FlowResult on = run_flow(net, t1);
+  // The optimizer collapses full adders to xor3+maj3 pairs (28 JJ vs the
+  // 29 JJ T1 body); raw eq. 2 converts nothing here. The extended gain must
+  // restore conversion AND the conversions must pay for themselves.
+  EXPECT_GT(on.metrics.t1_used, 0u);
+  EXPECT_LE(on.metrics.area_jj, off.metrics.area_jj);
+  EXPECT_TRUE(random_simulation_equal(on.mapped, net, 16));
+}
+
+TEST(T1CostRegression, OptimizedAdder128ConvertsAndWins) {
+  const Network net = bench::epfl_adder(128);
+  FlowParams base;
+  base.clk.phases = 4;
+  base.use_t1 = false;
+  base.opt.enable = true;
+  base.opt.verify = false;  // pass-level SAT guard dominates runtime at 128 bits
+  FlowParams t1 = base;
+  t1.use_t1 = true;
+  const FlowResult off = run_flow(net, base);
+  const FlowResult on = run_flow(net, t1);
+  EXPECT_GT(on.metrics.t1_used, 0u);
+  EXPECT_LE(on.metrics.area_jj, off.metrics.area_jj);
+  EXPECT_TRUE(random_simulation_equal(on.mapped, net, 16));
+}
+
+TEST(T1CostRegression, GuardDeclinesStandaloneOptimizedAdder) {
+  // A lone optimized full adder is the boundary case: the local terms favour
+  // fusion (+1 clock share, +9 JJ of splitters vs -1 JJ of logic) but the two
+  // dedicated eq.-3 landing DFFs cost 14 JJ, a genuine physical loss of 5 JJ
+  // at the default library. The network-estimate gatekeeper must decline.
+  Network net = optimized_full_adder();
+  FlowParams p;
+  p.clk.phases = 4;
+  p.opt.enable = false;  // already optimized by construction
+  const FlowResult res = run_flow(net, p);
+  EXPECT_EQ(res.metrics.t1_used, 0u);
+}
+
+TEST(T1CostRegression, SplitterHeavyLibraryFlipsTheStandaloneDecision) {
+  // Same candidate, different library: with 6 JJ splitters the three fanin
+  // splitters of the gate pair outweigh the landing DFFs and the very same
+  // guard now accepts — the decision is genuinely CellLibrary-driven.
+  Network net = optimized_full_adder();
+  FlowParams p;
+  p.clk.phases = 4;
+  p.opt.enable = false;
+  p.lib.jj_splitter = 6;
+  const FlowResult res = run_flow(net, p);
+  EXPECT_EQ(res.metrics.t1_used, 1u);
+  EXPECT_EQ(res.mapped.count_of(GateType::T1), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden totals: Table-I circuits under the default and a perturbed library
+// ---------------------------------------------------------------------------
+
+struct Golden {
+  std::size_t suite_index;
+  const char* name;
+  bool perturbed;
+  std::size_t used;
+  std::size_t dffs;
+  uint64_t area, logic, dff, splitter, clock;
+};
+
+class GoldenTotals : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenTotals, FlowReproducesTheRecordedBreakdown) {
+  const Golden g = GetParam();
+  const auto suite = bench::make_suite_scaled(8);
+  FlowParams p;
+  p.clk.phases = 4;
+  p.use_t1 = true;
+  p.opt.enable = true;
+  p.opt.verify = false;  // transforms are individually proven; goldens pin results
+  if (g.perturbed) {
+    p.lib = perturbed_library();
+  }
+  const FlowResult res = run_flow(suite[g.suite_index].generate(), p);
+  EXPECT_EQ(res.metrics.t1_used, g.used);
+  EXPECT_EQ(res.metrics.num_dffs, g.dffs);
+  EXPECT_EQ(res.metrics.area_jj, g.area);
+  EXPECT_EQ(res.metrics.breakdown.logic, g.logic);
+  EXPECT_EQ(res.metrics.breakdown.dff, g.dff);
+  EXPECT_EQ(res.metrics.breakdown.splitter, g.splitter);
+  EXPECT_EQ(res.metrics.breakdown.clock, g.clock);
+}
+
+// Recorded from the flow at the time the cost layer was introduced; any
+// change to these totals is a deliberate cost-model change and must update
+// the goldens (they guarantee perfect determinism of the whole opt + T1 +
+// scheduling pipeline, not just plausibility).
+INSTANTIATE_TEST_SUITE_P(
+    TableOneShrink8, GoldenTotals,
+    ::testing::Values(
+        Golden{0, "adder", false, 10, 76, 1053, 448, 456, 51, 98},
+        Golden{1, "c7552", false, 1, 2, 447, 306, 12, 102, 27},
+        Golden{4, "voter", false, 67, 26, 7400, 5615, 156, 1185, 444},
+        Golden{7, "log2", false, 0, 0, 149, 101, 0, 39, 9},
+        Golden{0, "adder", true, 6, 72, 1349, 502, 720, 29, 98},
+        Golden{1, "c7552", true, 0, 1, 424, 351, 10, 36, 27},
+        Golden{4, "voter", true, 0, 0, 7582, 6529, 0, 598, 455},
+        Golden{7, "log2", true, 0, 0, 141, 117, 0, 14, 10}),
+    [](const ::testing::TestParamInfo<Golden>& info) {
+      return std::string(info.param.name) + (info.param.perturbed ? "_pert" : "_default");
+    });
+
+}  // namespace
+}  // namespace t1sfq

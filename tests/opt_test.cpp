@@ -38,19 +38,21 @@ TruthTable po_function(const Network& net) { return simulate_truth_tables(net)[0
 // RewriteDb
 // ---------------------------------------------------------------------------
 
-TEST(RewriteDb, SingleCellFunctionsCostOne) {
+TEST(RewriteDb, SingleCellFunctionsCostTheirMarginal) {
   const RewriteDb& db = RewriteDb::instance();
-  EXPECT_GT(db.num_settled(), 60000u);  // cost cap 5 reaches almost everything
-  // maj3 = 0xe8 on vars {0,1,2}, zero-extended to 4 vars.
+  EXPECT_GT(db.num_settled(), 60000u);  // the default JJ budget reaches almost everything
+  // maj3 = 0xe8 on vars {0,1,2}, zero-extended to 4 vars: one Maj3 cell at
+  // its library JJ cost plus the clock share.
+  const RewriteDb::Params defaults;
   const TruthTable maj = tt3::maj3().extend_to(4);
   const auto m = db.match(maj);
   ASSERT_TRUE(m.has_value());
-  EXPECT_EQ(m->gate_cost, 1u);
+  EXPECT_EQ(m->jj_cost, defaults.lib.jj_maj3 + defaults.clock_jj);
   EXPECT_EQ(m->depth, 1u);
-  // Projection costs zero gates.
+  // Projection costs zero JJ.
   const auto proj = db.match(TruthTable::nth_var(4, 2));
   ASSERT_TRUE(proj.has_value());
-  EXPECT_EQ(proj->gate_cost, 0u);
+  EXPECT_EQ(proj->jj_cost, 0u);
 }
 
 TEST(RewriteDb, InstantiationMatchesTheFunction) {
@@ -73,11 +75,12 @@ TEST(RewriteDb, InstantiationMatchesTheFunction) {
 }
 
 TEST(RewriteDb, NpnFallbackBridgesWithInverters) {
-  // A tiny database (cost cap 1) knows And2 but not e.g. x0' & x1'; the NPN
-  // fallback must still produce a correct structure through inverters.
+  // A tiny database (budget = one 2-input cell) knows And2 but not e.g.
+  // x0' & x1'; the NPN fallback must still produce a correct structure
+  // through inverters.
   RewriteDb::Params p;
-  p.max_cost = 1;
-  p.npn_index_cost = 1;
+  p.max_jj = p.lib.jj_maj3 + p.clock_jj;  // every single cell fits, no pairs
+  p.npn_index_jj = p.max_jj;
   const RewriteDb db(p);
   std::mt19937_64 rng(7);
   std::size_t fallback_hits = 0;
@@ -108,8 +111,8 @@ TEST(RewriteDb, NpnIndexAgreesWithTheCanonizer) {
   // fallback lookup must hit (a divergence makes the lower_bound miss and
   // match() return nullopt for an indexed class).
   RewriteDb::Params p;
-  p.max_cost = 1;
-  p.npn_index_cost = 1;
+  p.max_jj = p.lib.jj_maj3 + p.clock_jj;  // every single cell fits, no pairs
+  p.npn_index_jj = p.max_jj;
   const RewriteDb db(p);
 
   // All cost<=1 functions: seeds plus one gate over projections/constants.
