@@ -7,68 +7,96 @@
 ///   2. How many priority cuts per node does matching need? The 3-leaf cut a
 ///      T1 group wants can be crowded out when the cut budget is small.
 ///   3. How large are the groups actually committed (2..5 cuts per cell)?
+///
+/// The configurations run on a thread pool (benchmarks/runner.hpp): each job
+/// regenerates its own network and writes its table row to a per-job buffer,
+/// so the output is deterministic and byte-identical to `--jobs 1`.
+///
+/// Usage: detection_ablation [--jobs N]
 
+#include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "benchmarks/arith.hpp"
 #include "benchmarks/epfl.hpp"
+#include "benchmarks/runner.hpp"
 #include "core/flow.hpp"
 
 using namespace t1sfq;
 
 namespace {
 
-void run_case(const std::string& label, const Network& net, const T1DetectionParams& det) {
-  FlowParams p;
-  p.clk.phases = 4;
-  p.use_t1 = true;
-  p.detection = det;
-  p.opt.enable = false;  // ablate detection on the raw network (paper setting)
-  const auto res = run_flow(net, p);
-  std::cout << std::setw(26) << label << std::setw(8) << res.metrics.t1_found
-            << std::setw(8) << res.metrics.t1_used << std::setw(10) << res.metrics.num_dffs
-            << std::setw(12) << res.metrics.area_jj << std::setw(8)
-            << res.metrics.depth_cycles << "\n";
+void print_row(std::ostream& os, const std::string& label, std::size_t found,
+               std::size_t used, const FlowMetrics& m) {
+  os << std::setw(26) << label << std::setw(8) << found << std::setw(8) << used
+     << std::setw(10) << m.num_dffs << std::setw(12) << m.area_jj << std::setw(8)
+     << m.depth_cycles << "\n";
 }
 
 }  // namespace
 
-int main() {
-  Network net = bench::epfl_multiplier(12);
-  std::cout << "T1 detection ablation on a 12x12 multiplier ("
-            << net.num_gates() << " gates)\n\n";
+int main(int argc, char** argv) {
+  unsigned jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+      return 2;
+    }
+  }
+
+  struct Config {
+    std::string label;
+    bool use_t1 = true;
+    T1DetectionParams det{};
+  };
+  std::vector<Config> configs;
+  configs.push_back({"no T1 (baseline)", false, {}});
+  configs.push_back({"default (dA>0, 16 cuts)", true, {}});
+  {
+    Config c{"greedy (any match)", true, {}};
+    c.det.require_positive_gain = false;
+    c.det.min_cuts_per_group = 1;
+    configs.push_back(c);
+  }
+  for (unsigned cuts : {2u, 4u, 8u, 32u}) {
+    Config c{"priority cuts = " + std::to_string(cuts), true, {}};
+    c.det.max_cuts = cuts;
+    configs.push_back(c);
+  }
+  {
+    Config c{"max 2 cuts per group", true, {}};
+    c.det.max_cuts_per_group = 2;
+    configs.push_back(c);
+  }
+
+  {
+    const Network net = bench::epfl_multiplier(12);
+    std::cout << "T1 detection ablation on a 12x12 multiplier (" << net.num_gates()
+              << " gates)\n\n";
+  }
   std::cout << std::setw(26) << "configuration" << std::setw(8) << "found" << std::setw(8)
             << "used" << std::setw(10) << "DFFs" << std::setw(12) << "area(JJ)"
             << std::setw(8) << "depth" << "\n";
 
-  {
-    FlowParams p;
-    p.clk.phases = 4;
-    p.use_t1 = false;
-    p.opt.enable = false;
-    const auto res = run_flow(net, p);
-    std::cout << std::setw(26) << "no T1 (baseline)" << std::setw(8) << 0 << std::setw(8)
-              << 0 << std::setw(10) << res.metrics.num_dffs << std::setw(12)
-              << res.metrics.area_jj << std::setw(8) << res.metrics.depth_cycles << "\n";
+  std::vector<bench::Job> rows;
+  for (const Config& cfg : configs) {
+    rows.push_back([cfg](std::ostream& log) {
+      const Network net = bench::epfl_multiplier(12);
+      FlowParams p;
+      p.clk.phases = 4;
+      p.use_t1 = cfg.use_t1;
+      p.detection = cfg.det;
+      p.opt.enable = false;  // ablate detection on the raw network (paper setting)
+      const auto res = run_flow(net, p);
+      print_row(log, cfg.label, cfg.use_t1 ? res.metrics.t1_found : 0,
+                cfg.use_t1 ? res.metrics.t1_used : 0, res.metrics);
+    });
   }
-
-  T1DetectionParams det;
-  run_case("default (dA>0, 16 cuts)", net, det);
-
-  det.require_positive_gain = false;
-  det.min_cuts_per_group = 1;
-  run_case("greedy (any match)", net, det);
-
-  det = T1DetectionParams{};
-  for (unsigned cuts : {2u, 4u, 8u, 32u}) {
-    det.max_cuts = cuts;
-    run_case("priority cuts = " + std::to_string(cuts), net, det);
-  }
-
-  det = T1DetectionParams{};
-  det.max_cuts_per_group = 2;
-  run_case("max 2 cuts per group", net, det);
+  bench::run_jobs(std::move(rows), std::cout, jobs);
 
   std::cout << "\n(ΔA > 0 and a 16-cut budget recover the best area; tiny cut budgets\n"
                " miss shared-leaf groups, and forcing unprofitable matches wastes JJ.)\n";

@@ -4,11 +4,18 @@
 /// The paper fixes n = 4; this sweep shows why that is a sweet spot. For each
 /// benchmark and n in {1..8} we run the baseline flow and (for n >= 4, where
 /// the three T1 landing slots fit) the T1 flow, reporting the Table-I metrics.
+///
+/// The (circuit × n) pairs run on a thread pool (benchmarks/runner.hpp): each
+/// job regenerates its own network and writes its row to a per-job buffer, so
+/// the output is deterministic and byte-identical to `--jobs 1`.
+///
+/// Usage: phase_sweep [--shrink K] [--full] [--jobs N]
 
 #include <cstring>
 #include <iomanip>
 #include <iostream>
 
+#include "benchmarks/runner.hpp"
 #include "benchmarks/suite.hpp"
 #include "core/flow.hpp"
 
@@ -16,43 +23,55 @@ using namespace t1sfq;
 
 int main(int argc, char** argv) {
   unsigned shrink = 4;
+  unsigned jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shrink") == 0 && i + 1 < argc) {
       shrink = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--full") == 0) {
       shrink = 1;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--shrink K] [--full] [--jobs N]\n";
+      return 2;
     }
   }
   const auto suite = shrink > 1 ? bench::make_suite_scaled(shrink) : bench::make_suite();
 
   std::cout << "Phase-count ablation (widths shrunk by " << shrink << ")\n";
+  std::vector<bench::Job> rows;
   for (const auto& c : {suite[0], suite[6], suite[4]}) {  // adder, multiplier, voter
-    const Network net = c.generate();
-    std::cout << "\n" << c.name << " (" << net.num_gates() << " gates):\n";
-    std::cout << std::setw(4) << "n" << std::setw(12) << "DFF(base)" << std::setw(12)
+    for (unsigned n = 1; n <= 8; ++n) {
+      rows.push_back([c, n](std::ostream& log) {
+        const Network net = c.generate();
+        if (n == 1) {
+          log << "\n" << c.name << " (" << net.num_gates() << " gates):\n";
+          log << std::setw(4) << "n" << std::setw(12) << "DFF(base)" << std::setw(12)
               << "area(base)" << std::setw(12) << "depth" << std::setw(12) << "DFF(T1)"
               << std::setw(12) << "area(T1)" << std::setw(12) << "depth(T1)" << "\n";
-    for (unsigned n = 1; n <= 8; ++n) {
-      FlowParams base;
-      base.clk.phases = n;
-      base.use_t1 = false;
-      base.opt.enable = false;  // sweep the paper's flows on the raw network
-      const auto b = run_flow(net, base).metrics;
-      std::cout << std::setw(4) << n << std::setw(12) << b.num_dffs << std::setw(12)
-                << b.area_jj << std::setw(12) << b.depth_cycles;
-      if (n >= 4) {
-        FlowParams t1p;
-        t1p.clk.phases = n;
-        t1p.use_t1 = true;
-        t1p.opt.enable = false;
-        const auto t = run_flow(net, t1p).metrics;
-        std::cout << std::setw(12) << t.num_dffs << std::setw(12) << t.area_jj
-                  << std::setw(12) << t.depth_cycles;
-      } else {
-        std::cout << std::setw(12) << "-" << std::setw(12) << "-" << std::setw(12) << "-";
-      }
-      std::cout << "\n";
+        }
+        FlowParams base;
+        base.clk.phases = n;
+        base.use_t1 = false;
+        base.opt.enable = false;  // sweep the paper's flows on the raw network
+        const auto b = run_flow(net, base).metrics;
+        log << std::setw(4) << n << std::setw(12) << b.num_dffs << std::setw(12)
+            << b.area_jj << std::setw(12) << b.depth_cycles;
+        if (n >= 4) {
+          FlowParams t1p;
+          t1p.clk.phases = n;
+          t1p.use_t1 = true;
+          t1p.opt.enable = false;
+          const auto t = run_flow(net, t1p).metrics;
+          log << std::setw(12) << t.num_dffs << std::setw(12) << t.area_jj
+              << std::setw(12) << t.depth_cycles;
+        } else {
+          log << std::setw(12) << "-" << std::setw(12) << "-" << std::setw(12) << "-";
+        }
+        log << "\n";
+      });
     }
   }
+  bench::run_jobs(std::move(rows), std::cout, jobs);
   return 0;
 }

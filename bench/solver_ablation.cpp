@@ -6,14 +6,26 @@
 /// and a fast coordinate-descent heuristic used for the large benchmarks.
 /// This bench measures the optimality gap and runtime of both engines on
 /// progressively larger adders and multipliers.
+///
+/// One job per circuit on a thread pool (benchmarks/runner.hpp); each job
+/// times both engines and writes its row to a per-job buffer, so the output
+/// is deterministic and byte-identical across job counts. Because the
+/// ms(heur)/ms(milp) columns are the point of this bench, the default is
+/// sequential (`--jobs 1`); pass `--jobs N` explicitly when the wall-time
+/// distortion from cross-job contention is acceptable.
+///
+/// Usage: solver_ablation [--jobs N]
 
 #include <chrono>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <utility>
 
 #include "benchmarks/arith.hpp"
 #include "benchmarks/epfl.hpp"
 #include "benchmarks/iscas.hpp"
+#include "benchmarks/runner.hpp"
 #include "core/flow.hpp"
 
 using namespace t1sfq;
@@ -35,7 +47,17 @@ double run_ms(const Network& net, PhaseEngine engine, bool use_t1, FlowMetrics* 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = 1;  // timing bench: parallel rows distort the ms columns
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+      return 2;
+    }
+  }
+
   std::cout << "Phase-assignment engine ablation (4 phases)\n";
   std::cout << std::setw(16) << "circuit" << std::setw(8) << "gates" << std::setw(6)
             << "T1" << std::setw(12) << "DFF(heur)" << std::setw(12) << "ms(heur)"
@@ -60,20 +82,27 @@ int main() {
     cases.push_back({"mult" + std::to_string(bits), bench::c6288_like(bits), false});
   }
 
-  for (auto& c : cases) {
-    FlowMetrics heur, milp;
-    const double ms_h = run_ms(c.net, PhaseEngine::Heuristic, c.use_t1, &heur);
-    const double ms_m = run_ms(c.net, PhaseEngine::ExactMilp, c.use_t1, &milp);
-    const double gap = heur.num_dffs > 0
-                           ? 100.0 * (static_cast<double>(heur.num_dffs) - milp.num_dffs) /
-                                 std::max<std::size_t>(milp.num_dffs, 1)
-                           : 0.0;
-    std::cout << std::setw(16) << c.name << std::setw(8) << c.net.num_gates()
-              << std::setw(6) << (c.use_t1 ? "yes" : "no") << std::setw(12)
-              << heur.num_dffs << std::setw(12) << std::fixed << std::setprecision(1)
-              << ms_h << std::setw(12) << milp.num_dffs << std::setw(12) << ms_m
-              << std::setw(8) << std::setprecision(1) << gap << "\n";
+  std::vector<bench::Job> rows;
+  for (const Case& c_ref : cases) {
+    // `cases` outlives run_jobs and jobs only read it: no per-job deep copy
+    // of the pre-generated networks.
+    rows.push_back([&c = std::as_const(c_ref)](std::ostream& log) {
+      FlowMetrics heur, milp;
+      const double ms_h = run_ms(c.net, PhaseEngine::Heuristic, c.use_t1, &heur);
+      const double ms_m = run_ms(c.net, PhaseEngine::ExactMilp, c.use_t1, &milp);
+      const double gap = heur.num_dffs > 0
+                             ? 100.0 * (static_cast<double>(heur.num_dffs) - milp.num_dffs) /
+                                   std::max<std::size_t>(milp.num_dffs, 1)
+                             : 0.0;
+      log << std::setw(16) << c.name << std::setw(8) << c.net.num_gates()
+          << std::setw(6) << (c.use_t1 ? "yes" : "no") << std::setw(12)
+          << heur.num_dffs << std::setw(12) << std::fixed << std::setprecision(1)
+          << ms_h << std::setw(12) << milp.num_dffs << std::setw(12) << ms_m
+          << std::setw(8) << std::setprecision(1) << gap << "\n";
+    });
   }
+  bench::run_jobs(std::move(rows), std::cout, jobs);
+
   std::cout << "\n(The MILP is the paper's eq. 3 formulation with assignment binaries for\n"
                " the T1 landing slots; gap% > 0 means the heuristic left DFFs on the table.)\n";
   return 0;

@@ -1,0 +1,54 @@
+#include "benchmarks/random_net.hpp"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace t1sfq {
+namespace bench {
+
+Network random_network(uint64_t seed, unsigned num_pis, unsigned num_gates,
+                       RandomPoPolicy policy) {
+  std::mt19937_64 rng(seed);
+  Network net("rand" + std::to_string(seed));
+  std::vector<NodeId> pool;
+  for (unsigned i = 0; i < num_pis; ++i) {
+    pool.push_back(net.add_pi());
+  }
+  const auto pick = [&] { return pool[rng() % pool.size()]; };
+  for (unsigned g = 0; g < num_gates; ++g) {
+    NodeId n = kNullNode;
+    switch (rng() % 8) {
+      case 0: n = net.add_and(pick(), pick()); break;
+      case 1: n = net.add_or(pick(), pick()); break;
+      case 2:
+      case 3: n = net.add_xor(pick(), pick()); break;
+      case 4: n = net.add_not(pick()); break;
+      case 5: n = net.add_maj(pick(), pick(), pick()); break;
+      case 6: n = net.add_xor3(pick(), pick(), pick()); break;
+      case 7: n = net.add_nand(pick(), pick()); break;
+    }
+    pool.push_back(n);
+  }
+  switch (policy) {
+    case RandomPoPolicy::SampleDeepest:
+      for (unsigned i = 0; i < 4 && i < pool.size(); ++i) {
+        net.add_po(pool[pool.size() - 1 - i]);
+      }
+      net.add_po(pool[rng() % pool.size()]);
+      break;
+    case RandomPoPolicy::AllSinks: {
+      const auto fanouts = net.fanout_counts();
+      for (const NodeId id : pool) {
+        if (fanouts[id] == 0) {
+          net.add_po(id);
+        }
+      }
+      break;
+    }
+  }
+  return net;
+}
+
+}  // namespace bench
+}  // namespace t1sfq

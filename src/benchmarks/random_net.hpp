@@ -1,0 +1,36 @@
+#pragma once
+/// \file random_net.hpp
+/// \brief Shared random-DAG generator over the SFQ cell vocabulary.
+///
+/// One generator serves the property tests (tests/random_network_test_util.hpp
+/// forwards here) and the scaling bench, so tuning the distribution — e.g.
+/// planting more shareable cones to exercise detection — reaches both. Biased
+/// toward xor/and/or pairs and 3-input cells so T1-matchable cones appear
+/// organically.
+
+#include <cstdint>
+
+#include "network/network.hpp"
+
+namespace t1sfq {
+namespace bench {
+
+/// How primary outputs are chosen after the gates are generated.
+enum class RandomPoPolicy {
+  /// A handful of the deepest nodes plus one random draw (the historical
+  /// property-test shape: networks keep unreachable live junk, which several
+  /// tests rely on exercising).
+  SampleDeepest,
+  /// Every sink (fanout-0 node) becomes an output: the whole DAG stays
+  /// PO-reachable, so a sweep removes nothing (the scaling-bench shape).
+  AllSinks,
+};
+
+/// Random DAG with \p num_gates gates over \p num_pis inputs. Deterministic
+/// in \p seed; for a given seed the generated gate structure is identical
+/// across policies (the policy only selects the outputs).
+Network random_network(uint64_t seed, unsigned num_pis, unsigned num_gates,
+                       RandomPoPolicy policy = RandomPoPolicy::SampleDeepest);
+
+}  // namespace bench
+}  // namespace t1sfq

@@ -33,10 +33,10 @@ int64_t landing_chain_cost(Stage sd, Stage t, Stage n) {
   return gap % n == 0 ? gap / n : gap / n + 1;
 }
 
-/// Deterministic minimum-cost landing-slot permutation for a T1 body
-/// (slots[i] = slot of fanin i, slot ∈ {1,2,3}).
+}  // namespace
+
 std::array<int, 3> t1_slot_perm(const Network& net, const std::vector<Stage>& stage,
-                                NodeId t1, Stage n, int64_t* cost_out = nullptr) {
+                                NodeId t1, Stage n, int64_t* cost_out) {
   const Node& body = net.node(t1);
   const Stage sj = stage[t1];
   std::array<Stage, 3> sd;
@@ -63,8 +63,6 @@ std::array<int, 3> t1_slot_perm(const Network& net, const std::vector<Stage>& st
   }
   return best;
 }
-
-}  // namespace
 
 NodeId resolve_producer(const Network& net, NodeId id) {
   NodeId cur = id;

@@ -78,6 +78,13 @@ NodeId resolve_producer(const Network& net, NodeId id);
 /// with its own DFF spine). Use this as the key for spine/fanout accounting.
 NodeId driver_key(const Network& net, NodeId id);
 
+/// Deterministic minimum-cost landing-slot permutation of T1 body \p t1 under
+/// \p stage (slots[i] = slot of fanin i, slot ∈ {1,2,3}; \p n = phase count).
+/// Shared by plan_dffs, the scheduler and the incremental plan views
+/// (incr/incremental_view.hpp), so every layer agrees on the slot choice.
+std::array<int, 3> t1_slot_perm(const Network& net, const std::vector<Stage>& stage,
+                                NodeId t1, Stage n, int64_t* cost_out = nullptr);
+
 PhaseAssignment assign_phases(const Network& net, const PhaseAssignmentParams& params);
 
 /// Validates eq.-3/edge constraints of an assignment (used by tests).

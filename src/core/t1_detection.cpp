@@ -7,7 +7,10 @@
 #include <set>
 #include <unordered_map>
 
+#include "core/phase_assignment.hpp"
 #include "core/t1_cell.hpp"
+#include "incr/incremental_view.hpp"
+#include "incr/schedule_refiner.hpp"
 #include "network/cut_enumeration.hpp"
 #include "network/mffc.hpp"
 
@@ -50,42 +53,6 @@ bool is_candidate_root(GateType type) {
   }
 }
 
-/// Pricing context for one detection round: legal ASAP stages (eq. 3 aware),
-/// fanout counts/lists and the balanced-sink stage of the current network.
-struct StageContext {
-  std::vector<Stage> stage;
-  Stage output_stage = 1;
-  std::vector<uint32_t> fanout;
-  std::vector<std::vector<NodeId>> consumers;
-  std::vector<char> is_po;
-
-  explicit StageContext(const Network& net) {
-    stage = asap_stages(net, &output_stage);
-    fanout = net.fanout_counts();
-    consumers = net.fanout_lists();
-    is_po.assign(net.size(), 0);
-    for (const NodeId po : net.pos()) {
-      is_po[po] = 1;
-    }
-  }
-
-  /// Shared-spine length of \p d, optionally ignoring consumers in \p skip.
-  Stage spine(const MultiphaseConfig& clk, NodeId d,
-              const std::vector<NodeId>* skip = nullptr) const {
-    Stage len = 0;
-    for (const NodeId c : consumers[d]) {
-      if (skip && std::find(skip->begin(), skip->end(), c) != skip->end()) {
-        continue;
-      }
-      len = std::max(len, clk.dffs_on_edge(stage[d], stage[c]));
-    }
-    if (is_po[d]) {
-      len = std::max(len, clk.dffs_on_edge(stage[d], output_stage));
-    }
-    return len;
-  }
-};
-
 /// DFF cost of landing a pulse from stage \p sd at exact stage \p t when the
 /// producer already keeps a spine of \p ext DFFs for its surviving consumers.
 /// Slot-aligned chains (gap divisible by n) ride the spine; misaligned ones
@@ -108,8 +75,10 @@ int64_t landing_cost(Stage sd, Stage t, Stage n, Stage ext, bool charge_dedicate
 }
 
 /// Extended eq. 2: unified-JJ gain of fusing the candidate into one T1 cell.
+/// Stages, fanouts, consumer lists and spines come from the round's shared
+/// `IncrementalView` (the former private StageContext of this file).
 int64_t price_candidate(const Network& net, const CostModel& model,
-                        const StageContext& ctx, const T1DetectionParams& params,
+                        const IncrementalView& ctx, const T1DetectionParams& params,
                         const Candidate& cand, const std::vector<T1PortFn>& fns) {
   const CellLibrary& lib = model.lib();
   const MultiphaseConfig& clk = model.clk();
@@ -153,8 +122,8 @@ int64_t price_candidate(const Network& net, const CostModel& model,
   if (model.splitter_jj() > 0) {
     int64_t reclaimed = 0;
     for (const NodeId d : cand.cone_union) {
-      if (!is_root(d) && ctx.fanout[d] > 1) {
-        reclaimed += static_cast<int64_t>(ctx.fanout[d] - 1);
+      if (!is_root(d) && ctx.fanout(d) > 1) {
+        reclaimed += static_cast<int64_t>(ctx.fanout(d) - 1);
       }
     }
     for (const NodeId leaf : cand.leaves) {
@@ -165,8 +134,8 @@ int64_t price_candidate(const Network& net, const CostModel& model,
           uses += nd.fanin(i) == leaf ? 1 : 0;
         }
       }
-      if (uses > 1 && ctx.fanout[leaf] > 1) {
-        reclaimed += std::min<uint32_t>(uses - 1, ctx.fanout[leaf] - 1);
+      if (uses > 1 && ctx.fanout(leaf) > 1) {
+        reclaimed += std::min<uint32_t>(uses - 1, ctx.fanout(leaf) - 1);
       }
     }
     gain += model.splitter_jj() * reclaimed;
@@ -176,7 +145,7 @@ int64_t price_candidate(const Network& net, const CostModel& model,
   // T1 stage under eq. 3 on the current (pre-commit) stages.
   std::array<Stage, 3> ls;
   for (unsigned i = 0; i < 3; ++i) {
-    ls[i] = ctx.stage[cand.leaves[i]];
+    ls[i] = ctx.stage(cand.leaves[i]);
   }
   std::array<Stage, 3> sorted = ls;
   std::sort(sorted.begin(), sorted.end());
@@ -186,25 +155,25 @@ int64_t price_candidate(const Network& net, const CostModel& model,
   // Interior spines disappear with the cone.
   for (const NodeId d : cand.cone_union) {
     if (!is_root(d)) {
-      dff_delta += ctx.spine(clk, d);
+      dff_delta += ctx.spine(d);
     }
   }
   // Root output spines: roots with the same function merge onto one port
   // firing at sigma; spine lengths are re-measured from there.
   for (const Match& m : cand.matches) {
-    dff_delta += ctx.spine(clk, m.root);
+    dff_delta += ctx.spine(m.root);
   }
   for (const T1PortFn fn : distinct) {
     Stage port_spine = 0;
     for (const Match& m : cand.matches) {
       if (m.fn != fn) continue;
-      for (const NodeId c : ctx.consumers[m.root]) {
+      for (const NodeId c : ctx.consumers(m.root)) {
         if (!in_cone(c)) {
-          port_spine = std::max(port_spine, clk.dffs_on_edge(sigma, ctx.stage[c]));
+          port_spine = std::max(port_spine, clk.dffs_on_edge(sigma, ctx.stage(c)));
         }
       }
-      if (ctx.is_po[m.root]) {
-        port_spine = std::max(port_spine, clk.dffs_on_edge(sigma, ctx.output_stage));
+      if (ctx.is_po(m.root)) {
+        port_spine = std::max(port_spine, clk.dffs_on_edge(sigma, ctx.output_stage()));
       }
     }
     dff_delta -= port_spine;
@@ -213,8 +182,8 @@ int64_t price_candidate(const Network& net, const CostModel& model,
   // against the landing chain of its slot (minimum over slot permutations).
   std::array<Stage, 3> ext;
   for (unsigned i = 0; i < 3; ++i) {
-    ext[i] = ctx.spine(clk, cand.leaves[i], &cand.cone_union);
-    dff_delta += ctx.spine(clk, cand.leaves[i]) - ext[i];
+    ext[i] = ctx.spine(cand.leaves[i], &cand.cone_union);
+    dff_delta += ctx.spine(cand.leaves[i]) - ext[i];
   }
   std::array<int, 3> slot{1, 2, 3};
   int64_t best_landing = kInfCost;
@@ -258,7 +227,13 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
   cp.cut_size = 3;
   cp.max_cuts = params.max_cuts;
   const auto cuts = enumerate_cuts(net, cp);
-  const StageContext ctx(net);
+  // The round's shared analysis state: stages, fanouts, consumers and — when
+  // the commit guard runs incrementally — the delta-maintained DFF plan and
+  // JJ estimate. Pricing happens before any commit, so candidate gains see
+  // the round-entry landscape exactly as the per-round rebuild used to.
+  const bool guarded = params.require_positive_gain && params.dff_aware;
+  const bool incremental_guard = guarded && params.incremental_estimate;
+  IncrementalView ctx(net, model, /*track_plan=*/incremental_guard);
 
   // -- Group matching cuts by their (sorted) leaf triple. ----------------------
   std::map<std::array<NodeId, 3>, std::vector<Match>> groups;
@@ -295,7 +270,7 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
     cand.leaves = leaves;
     const std::vector<NodeId> stop(leaves.begin(), leaves.end());
     for (Match& m : matches) {
-      m.cone = mffc(net, m.root, ctx.fanout, stop);
+      m.cone = mffc(net, m.root, ctx.fanouts(), stop);
       for (const NodeId n : m.cone) {
         m.cone_area += lib.jj_cost(net.node(n).type, net.node(n).port);
       }
@@ -356,15 +331,33 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
   // chains that fail to align, spines stretched behind the new body); a
   // rejected candidate is not consumed, so the next round can retry it
   // against the post-commit stage landscape.
-  // (Measurement probes are swept copies: the candidate's cone dangles until
-  // the end-of-round sweep, and an unswept cone would hide every win.)
+  //
+  // Two guard engines, identical accept/reject logic:
+  //   * incremental (default) — the commit is applied through the round's
+  //     IncrementalView (ports in, roots rerouted, cone killed), the O(1)
+  //     estimate is read off the delta-maintained plan, and a reject rolls
+  //     the edit back from the journal. Cost per candidate: the touched cone.
+  //     When the ASAP estimate alone is a loss, the schedule-aware rescue
+  //     asks the ScheduleRefiner whether a few local stage sweeps recover it.
+  //   * legacy — a swept copy of the whole network is re-planned per
+  //     candidate. O(n) each; kept for the bench/scaling comparison.
+  // One deliberate nuance: the incremental estimate tracks the *live* node
+  // set, the legacy probe the *PO-reachable* one. On generator networks that
+  // carry unreachable-but-live junk the incremental guard is marginally
+  // stricter around junk-orphaned nodes — measured effect on the Table-I
+  // suite: it declines exactly the phantom conversions whose T1 cells the
+  // end-of-round sweep would delete again (sin: used 38 -> 37 at shrink 8,
+  // every JJ/DFF/area/depth figure identical).
   const auto swept_estimate = [&model](const Network& n) {
     Network probe = n;
     probe.sweep_dangling();
     return static_cast<int64_t>(model.network_breakdown(probe).total());
   };
-  const bool guarded = params.require_positive_gain && params.dff_aware;
-  int64_t current_est = guarded ? swept_estimate(net) : 0;
+  int64_t current_est = 0;
+  if (guarded) {
+    current_est = incremental_guard ? static_cast<int64_t>(ctx.estimate().total())
+                                    : swept_estimate(net);
+  }
   for (const Candidate& cand : candidates) {
     if (params.require_positive_gain && cand.gain <= 0) continue;
     bool conflict = false;
@@ -376,28 +369,98 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
     }
     if (conflict) continue;
 
-    Network trial = net;
-    const NodeId body = trial.add_t1(resolve_leaf(cand.leaves[0]),
+    std::vector<std::pair<NodeId, NodeId>> ports;
+    std::vector<NodeId> killed_closure;
+    if (params.incremental_estimate) {
+      // Apply the candidate through the view, guard, roll back on reject.
+      const NodeId body = net.add_t1(resolve_leaf(cand.leaves[0]),
                                      resolve_leaf(cand.leaves[1]),
                                      resolve_leaf(cand.leaves[2]));
-    std::vector<std::pair<NodeId, NodeId>> ports;
-    for (const Match& m : cand.matches) {
-      const NodeId port = trial.add_t1_port(body, m.fn);
-      trial.substitute(m.root, port);
-      ports.push_back({m.root, port});
-    }
-    if (guarded) {
-      const int64_t trial_est = swept_estimate(trial);
-      if (trial_est > current_est) {
-        continue;  // physically a loss here; maybe not after more fusion
+      std::vector<IncrementalView::ReplaceUndo> undos;
+      for (const Match& m : cand.matches) {
+        const NodeId port = net.add_t1_port(body, m.fn);
+        ports.push_back({m.root, port});
+        undos.push_back(ctx.replace(m.root, port));
       }
-      current_est = trial_est;
+      killed_closure = ctx.kill_cone(cand.cone_union);
+      if (guarded) {
+        int64_t trial_est = static_cast<int64_t>(ctx.estimate().total());
+        bool accept = trial_est <= current_est;
+        if (!accept && params.schedule_aware_guard) {
+          ScheduleRefinerParams rp;
+          rp.sweeps = params.guard_sweeps;
+          rp.radius = params.guard_radius;
+          const ScheduleRefiner refiner(ctx, rp);
+          std::vector<NodeId> seeds{body};
+          for (unsigned i = 0; i < 3; ++i) {
+            seeds.push_back(resolve_producer(net, net.node(body).fanin(i)));
+          }
+          const int64_t refined_planned = refiner.refine(seeds);
+          const int64_t refined_est =
+              trial_est - (ctx.planned_dffs() - refined_planned) * model.dff_jj();
+          accept = refined_est <= current_est;
+        }
+        if (!accept) {
+          // Physically a loss here; maybe not after more fusion. Roll back.
+          ctx.revive_cone(killed_closure);
+          for (std::size_t i = ports.size(); i-- > 0;) {
+            ctx.unreplace(ports[i].first, ports[i].second, undos[i]);
+          }
+          std::vector<NodeId> dead_ports;
+          for (const auto& [root, port] : ports) {
+            (void)root;
+            if (std::find(dead_ports.begin(), dead_ports.end(), port) ==
+                dead_ports.end()) {
+              dead_ports.push_back(port);  // two same-fn roots share one port
+            }
+          }
+          for (const NodeId port : dead_ports) {
+            ctx.kill(port);
+          }
+          ctx.kill(body);
+          continue;
+        }
+        current_est = trial_est;
+      }
+    } else {
+      // Legacy guard: whole-network probe on a trial copy. (The view is not
+      // consulted after this point — prices were computed before the loop.)
+      Network trial = net;
+      const NodeId body = trial.add_t1(resolve_leaf(cand.leaves[0]),
+                                       resolve_leaf(cand.leaves[1]),
+                                       resolve_leaf(cand.leaves[2]));
+      for (const Match& m : cand.matches) {
+        const NodeId port = trial.add_t1_port(body, m.fn);
+        trial.substitute(m.root, port);
+        ports.push_back({m.root, port});
+      }
+      if (guarded) {
+        const int64_t trial_est = swept_estimate(trial);
+        if (trial_est > current_est) {
+          continue;
+        }
+        current_est = trial_est;
+      }
+      net = std::move(trial);
     }
-    net = std::move(trial);
     for (const auto& [root, port] : ports) {
       replacement[root] = port;
     }
     for (const NodeId n : cand.cone_union) {
+      consumed[n] = 1;
+    }
+    // The incremental path retracts the cone's whole dangling closure at
+    // commit time (legacy leaves it dangling until the end-of-round sweep).
+    // Candidates were enumerated at round start, so a stale candidate may
+    // still name a cascade-killed node as cone, root or leaf: consume the
+    // full kill list so it is skipped. (Under the legacy discipline such a
+    // candidate "converts" logic that is already disconnected — a phantom
+    // commit the sweep deletes again; skipping it changes no physical
+    // metric, only the `used` statistic.) The closure can reach bodies and
+    // ports committed earlier in this round, whose ids postdate the
+    // round-entry `consumed` sizing.
+    consumed.resize(net.size(), 0);
+    for (const NodeId n : killed_closure) {
       consumed[n] = 1;
     }
     ++stats.used;

@@ -66,6 +66,26 @@ struct T1DetectionParams {
   /// Detection rounds (each re-enumerates cuts on the rewritten network);
   /// 1 reproduces single-shot detection.
   unsigned max_rounds = 3;
+  /// Maintain the commit-guard estimate incrementally through the shared
+  /// `IncrementalView` (delta update around the touched cone, rollback on
+  /// reject) instead of re-planning a swept copy of the whole network per
+  /// candidate. Same decisions, near-linear instead of quadratic; false
+  /// keeps the legacy full-recompute guard for the scaling comparison
+  /// (bench/scaling.cpp).
+  bool incremental_estimate = true;
+  /// Schedule-aware guard: when the ASAP estimate alone would reject a
+  /// candidate, run bounded coordinate-descent sweeps (ScheduleRefiner)
+  /// around the new body and accept if the refined schedule recovers the
+  /// loss. ASAP stages cannot align voter-class landings; a few local sweeps
+  /// can — the final phase assignment then realizes the refined schedule.
+  /// Only active on the incremental-estimate path. Off by default: it trades
+  /// balancing DFFs for logic fusion — on the shrink-8 suite it converts the
+  /// voter-class majority trees the ASAP guard declines (67 -> 113 T1 cells,
+  /// area 7400 -> 7196 JJ) at the price of more landing DFFs (26 -> 56), so
+  /// it is an area-leaning mode rather than a strict all-metric win.
+  bool schedule_aware_guard = false;
+  unsigned guard_sweeps = 2;  ///< refiner sweeps per rescued candidate
+  unsigned guard_radius = 3;  ///< BFS radius of the refiner's movable set
 };
 
 struct T1DetectionStats {

@@ -4,82 +4,14 @@
 
 namespace t1sfq {
 
-namespace {
-const std::vector<NodeId> kNoConsumers;
-}
-
-CostDelta::CostDelta(const Network& net, const CostModel& model)
-    : net_(net), model_(model) {
-  refresh();
-}
-
-void CostDelta::refresh() {
-  lvl_ = net_.levels();
-  fanout_ = net_.fanout_counts();
-  consumers_ = net_.fanout_lists();
-  is_po_.assign(net_.size(), 0);
-  output_stage_ = 1;
-  for (const NodeId po : net_.pos()) {
-    is_po_[po] = 1;
-    output_stage_ = std::max<Stage>(output_stage_, static_cast<Stage>(lvl_[po]) + 1);
-  }
-}
-
-void CostDelta::extend() {
-  for (NodeId id = static_cast<NodeId>(lvl_.size()); id < net_.size(); ++id) {
-    const Node& n = net_.node(id);
-    switch (n.type) {
-      case GateType::Const0:
-      case GateType::Const1:
-      case GateType::Pi:
-        lvl_.push_back(0);
-        break;
-      case GateType::Buf:
-      case GateType::T1Port:
-        lvl_.push_back(lvl_[n.fanin(0)]);
-        break;
-      default: {
-        uint32_t m = 0;
-        for (uint8_t i = 0; i < n.num_fanins; ++i) {
-          m = std::max(m, lvl_[n.fanin(i)]);
-        }
-        lvl_.push_back(m + 1);
-      }
-    }
-  }
-}
-
-const std::vector<NodeId>& CostDelta::consumers(NodeId id) const {
-  return id < consumers_.size() ? consumers_[id] : kNoConsumers;
-}
-
-Stage CostDelta::spine(NodeId driver, const std::vector<Stage>& extra) const {
-  return spine_at(driver, lvl_[driver], extra);
-}
-
-Stage CostDelta::spine_at(NodeId driver, uint32_t at_level,
-                          const std::vector<Stage>& extra) const {
-  const Stage sd = static_cast<Stage>(at_level);
-  Stage len = 0;
-  for (const NodeId c : consumers(driver)) {
-    len = std::max(len, model_.clk().dffs_on_edge(sd, static_cast<Stage>(lvl_[c])));
-  }
-  if (is_po(driver)) {
-    len = std::max(len, model_.clk().dffs_on_edge(sd, output_stage_));
-  }
-  for (const Stage sc : extra) {
-    len = std::max(len, model_.clk().dffs_on_edge(sd, sc));
-  }
-  return len;
-}
-
 int64_t CostDelta::cone_splitter_jj(const std::vector<NodeId>& cone,
                                     NodeId keep_consumers_of,
                                     NodeId skip_external_fanin) const {
-  const int64_t per = model_.splitter_jj();
+  const int64_t per = model().splitter_jj();
   if (per == 0) {
     return 0;
   }
+  const Network& net = view_.net();
   const auto in_cone = [&](NodeId id) {
     return std::find(cone.begin(), cone.end(), id) != cone.end();
   };
@@ -94,7 +26,7 @@ int64_t CostDelta::cone_splitter_jj(const std::vector<NodeId>& cone,
   // replacement is assumed to take at most one use per fanin.
   std::vector<std::pair<NodeId, uint32_t>> uses;  // external fanin -> cone uses
   for (const NodeId d : cone) {
-    const Node& n = net_.node(d);
+    const Node& n = net.node(d);
     for (uint8_t i = 0; i < n.num_fanins; ++i) {
       const NodeId f = n.fanin(i);
       if (in_cone(f)) continue;
@@ -120,10 +52,10 @@ int64_t CostDelta::cone_spine_jj(const std::vector<NodeId>& cone, NodeId exclude
   int64_t dffs = 0;
   for (const NodeId d : cone) {
     if (d != exclude) {
-      dffs += spine(d);
+      dffs += view_.spine(d);
     }
   }
-  return dffs * model_.dff_jj();
+  return dffs * model().dff_jj();
 }
 
 int64_t CostDelta::rewrite_delta(NodeId root, const std::vector<NodeId>& cone,
@@ -133,7 +65,7 @@ int64_t CostDelta::rewrite_delta(NodeId root, const std::vector<NodeId>& cone,
   delta -= cone_spine_jj(cone, root);
   // The root keeps its consumers but may move down: the spine to the (still
   // unmoved) consumers stretches accordingly.
-  delta += (spine_at(root, new_level) - spine(root)) * model_.dff_jj();
+  delta += (spine_at(root, new_level) - spine(root)) * model().dff_jj();
   return delta;
 }
 
@@ -150,10 +82,10 @@ int64_t CostDelta::resub_delta(NodeId target, const std::vector<NodeId>& cone,
   // Stage positions the donor-side pin must newly cover.
   std::vector<Stage> absorbed;
   for (const NodeId c : consumers(target)) {
-    absorbed.push_back(static_cast<Stage>(lvl_[c]));
+    absorbed.push_back(view_.stage(c));
   }
   if (is_po(target)) {
-    absorbed.push_back(output_stage_);
+    absorbed.push_back(output_stage());
   }
 
   const auto edges_into_cone = [&](NodeId d) {
@@ -166,28 +98,28 @@ int64_t CostDelta::resub_delta(NodeId target, const std::vector<NodeId>& cone,
   const auto splitters = [](int64_t edges) { return std::max<int64_t>(0, edges - 1); };
 
   if (pin != kNullNode) {
-    delta += (spine(pin, absorbed) - spine(pin)) * model_.dff_jj();
+    delta += (spine(pin, absorbed) - spine(pin)) * model().dff_jj();
     // The pin gains the target's consumer edges and loses its edges into the
     // dying cone.
     const int64_t old_edges = fanout(pin);
     const int64_t new_edges =
         old_edges - edges_into_cone(pin) + static_cast<int64_t>(absorbed.size());
-    delta += (splitters(new_edges) - splitters(old_edges)) * model_.splitter_jj();
+    delta += (splitters(new_edges) - splitters(old_edges)) * model().splitter_jj();
   } else {
     // A new inverter one level above the donor: cell cost plus its spine.
-    delta += model_.cell_jj(GateType::Not);
-    const Stage s_not = static_cast<Stage>(lvl_[donor]) + 1;
+    delta += model().cell_jj(GateType::Not);
+    const Stage s_not = view_.stage(donor) + 1;
     Stage len = 0;
     for (const Stage sc : absorbed) {
-      len = std::max(len, model_.clk().dffs_on_edge(s_not, sc));
+      len = std::max(len, model().clk().dffs_on_edge(s_not, sc));
     }
-    delta += len * model_.dff_jj();
+    delta += len * model().dff_jj();
     // The donor trades its edges into the dying cone for the inverter edge;
     // the absorbed consumers land on the inverter.
     const int64_t old_edges = fanout(donor);
     const int64_t new_edges = old_edges - edges_into_cone(donor) + 1;
-    delta += (splitters(new_edges) - splitters(old_edges)) * model_.splitter_jj();
-    delta += splitters(static_cast<int64_t>(absorbed.size())) * model_.splitter_jj();
+    delta += (splitters(new_edges) - splitters(old_edges)) * model().splitter_jj();
+    delta += splitters(static_cast<int64_t>(absorbed.size())) * model().splitter_jj();
   }
   return delta;
 }

@@ -9,13 +9,18 @@
 /// getting any of them wrong re-introduces the currency mismatches this
 /// layer exists to remove.
 ///
-/// `CostDelta` owns the per-node state the pricing needs (ASAP levels, fanout
-/// counts, consumer lists, PO membership) and exposes
+/// `CostDelta` is the *pricing* layer over the delta-maintained analysis
+/// state of `IncrementalView` (incr/incremental_view.hpp): the view owns the
+/// per-node facts (ASAP stages, fanout counts, consumer lists, PO
+/// membership) and keeps them current under commits in time proportional to
+/// the affected cone; `CostDelta` composes them into
 ///   * primitives — `spine()`, `cone_jj()`, `cone_splitter_jj()` — for layers
 ///     with a unique shape (T1 detection composes its own eq.-2 extension),
 ///   * composite evaluators — `rewrite_delta()`, `resub_delta()` — for the
 ///     two standard restructurings of the `src/opt` passes.
-/// All deltas are signed JJ; negative improves the network.
+/// All deltas are signed JJ; negative improves the network. There is no
+/// refresh: passes commit through the view (`view.replace`, `view.sync`) and
+/// every later query prices against the post-commit state automatically.
 ///
 /// The DFF terms are estimates under ASAP stages (stage = level): exact for
 /// the dying cone's spines, and deliberately ignoring second-order effects
@@ -27,47 +32,42 @@
 #include <vector>
 
 #include "cost/cost_model.hpp"
+#include "incr/incremental_view.hpp"
 #include "network/network.hpp"
 
 namespace t1sfq {
 
 class CostDelta {
 public:
-  CostDelta(const Network& net, const CostModel& model);
+  explicit CostDelta(IncrementalView& view) : view_(view) {}
 
-  const CostModel& model() const { return model_; }
+  const CostModel& model() const { return view_.model(); }
+  IncrementalView& view() { return view_; }
 
-  /// Recomputes all cached state from the network (call after a commit).
-  void refresh();
-
-  /// Appends levels for nodes created since the last refresh()/extend().
-  /// New nodes are plain gates, one level above their deepest fanin; fanout
-  /// and consumer state stays at the last refresh (new nodes read as 0).
-  void extend();
-
-  uint32_t level(NodeId id) const { return lvl_[id]; }
-  const std::vector<uint32_t>& levels() const { return lvl_; }
-  uint32_t fanout(NodeId id) const {
-    return id < fanout_.size() ? fanout_[id] : 0;
-  }
-  const std::vector<uint32_t>& fanouts() const { return fanout_; }
-  const std::vector<NodeId>& consumers(NodeId id) const;
-  bool is_po(NodeId id) const { return id < is_po_.size() && is_po_[id] != 0; }
+  uint32_t level(NodeId id) const { return view_.level(id); }
+  uint32_t fanout(NodeId id) const { return view_.fanout(id); }
+  const std::vector<uint32_t>& fanouts() const { return view_.fanouts(); }
+  const std::vector<NodeId>& consumers(NodeId id) const { return view_.consumers(id); }
+  bool is_po(NodeId id) const { return view_.is_po(id); }
   /// Balanced-output sink stage (max PO level + 1).
-  Stage output_stage() const { return output_stage_; }
+  Stage output_stage() const { return view_.output_stage(); }
 
   /// Shared-spine length of \p driver under ASAP stages: max over its
   /// consumers (and the PO sink) of the balancing DFFs on that edge, plus any
   /// \p extra consumer stages the caller is about to attach.
-  Stage spine(NodeId driver, const std::vector<Stage>& extra = {}) const;
+  Stage spine(NodeId driver, const std::vector<Stage>& extra = {}) const {
+    return view_.spine(driver, nullptr, &extra);
+  }
 
   /// Like spine(), but with the driver moved to \p at_level.
   Stage spine_at(NodeId driver, uint32_t at_level,
-                 const std::vector<Stage>& extra = {}) const;
+                 const std::vector<Stage>& extra = {}) const {
+    return view_.spine_at(driver, static_cast<Stage>(at_level), nullptr, &extra);
+  }
 
   /// Gate + clock JJ of a node set.
   int64_t cone_jj(const std::vector<NodeId>& cone) const {
-    return model_.cone_jj(net_, cone);
+    return model().cone_jj(view_.net(), cone);
   }
 
   /// Splitter JJ reclaimed when \p cone dies: interior fanout splitters
@@ -97,13 +97,7 @@ public:
                       bool invert, NodeId existing_inv) const;
 
 private:
-  const Network& net_;
-  CostModel model_;
-  std::vector<uint32_t> lvl_;
-  std::vector<uint32_t> fanout_;
-  std::vector<std::vector<NodeId>> consumers_;
-  std::vector<char> is_po_;
-  Stage output_stage_ = 1;
+  IncrementalView& view_;
 };
 
 }  // namespace t1sfq

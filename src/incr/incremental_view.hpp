@@ -1,0 +1,231 @@
+#pragma once
+/// \file incremental_view.hpp
+/// \brief Delta-maintained analysis views over a Network (the src/incr layer).
+///
+/// Every layer of the flow asks the same questions of the netlist — fanout
+/// counts, consumer lists, legal ASAP stages (levels), the shared-spine DFF
+/// plan, the unified-JJ network estimate — and historically each layer
+/// answered them with a full O(n) recompute after every local restructuring
+/// (`CostDelta::refresh`, the per-commit `fanout_counts()` rebuilds in
+/// balancing, the copy-sweep-plan probe of the T1 commit guard). That makes
+/// every pass quadratic past ~10k gates.
+///
+/// `IncrementalView` maintains all of these views *under edits*:
+///
+///   * `sync()`          — absorbs nodes appended to the network since the
+///                         last call (structure instantiation, new inverters),
+///   * `replace(o, n)`   — redirects o's consumers and PO references to n
+///                         (the incremental `Network::substitute`),
+///   * `kill(id)` / `kill_cone(cone)` — marks nodes dead and retracts their
+///                         fanin edges,
+///   * `revive_cone(cone)` — inverse of `kill_cone` (commit-guard rollback).
+///
+/// Each edit updates the cached state by dirty-set propagation: stages are
+/// re-relaxed over a worklist seeded with the touched consumers, and the DFF
+/// plan (per-pin spine lengths, per-T1 dedicated landings) is recomputed only
+/// for the pins whose spine inputs changed. The update cost is proportional
+/// to the affected cone, not the network — the invariant the scaling bench
+/// (`bench/scaling.cpp`) measures and `tests/incr_test.cpp` pins bit-exact
+/// against from-scratch recomputation.
+///
+/// Views maintained (identical to their from-scratch counterparts):
+///   * `stage(id)`       == `asap_stages(net)[id]` == `net.levels()[id]`,
+///   * `fanout(id)`      == `net.fanout_counts()[id]`,
+///   * `consumers(id)`   == `net.fanout_lists()[id]` (as a multiset),
+///   * `output_stage()`  == max live PO stage + 1,
+///   * `planned_dffs()`  == `plan_dffs(net, stages, out, clk).total_dffs()`,
+///   * `estimate()`      == `model.network_breakdown(net)` (O(1) query).
+/// ALAP stages are a *derived* view: cached, recomputed O(n) on first query
+/// after an edit (no subscriber needs them per-edit).
+///
+/// `set_full_recompute(true)` keeps the exact same query API but services
+/// every edit with a from-scratch rebuild — the legacy-complexity path, kept
+/// so the near-linear claim stays measurable instead of asserted.
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "network/network.hpp"
+
+namespace t1sfq {
+
+class IncrementalView {
+public:
+  /// Builds the view over \p net. When \p track_plan is true the shared-spine
+  /// DFF plan and the unified-JJ estimate are maintained too (the T1 commit
+  /// guard needs them; the opt passes only price locally and can skip the
+  /// upkeep).
+  IncrementalView(Network& net, const CostModel& model, bool track_plan = false);
+
+  Network& net() { return net_; }
+  const Network& net() const { return net_; }
+  const CostModel& model() const { return model_; }
+
+  /// Legacy-complexity mode: every edit rebuilds all state from scratch
+  /// (identical results, O(n) per edit). For the scaling comparison only.
+  void set_full_recompute(bool on) { full_recompute_ = on; }
+
+  // -- Queries (all O(1) / O(degree)) -----------------------------------------
+
+  Stage stage(NodeId id) const { return stage_[id]; }
+  uint32_t level(NodeId id) const { return static_cast<uint32_t>(stage_[id]); }
+  uint32_t fanout(NodeId id) const {
+    return id < fanout_.size() ? fanout_[id] : 0;
+  }
+  const std::vector<uint32_t>& fanouts() const { return fanout_; }
+  const std::vector<NodeId>& consumers(NodeId id) const;
+  bool is_po(NodeId id) const { return id < po_refs_.size() && po_refs_[id] > 0; }
+  Stage output_stage() const { return output_stage_; }
+
+  /// Query spine under the maintained stages: max over \p driver's consumers
+  /// (and the PO sink) of `dffs_on_edge`, with the driver optionally moved to
+  /// \p at_stage, consumers in \p skip ignored, and \p extra consumer stages
+  /// about to be attached. This is the *pricing* spine (every consumer edge
+  /// charged like a plain clocked edge) shared by CostDelta and T1 detection;
+  /// the maintained *plan* spine below additionally models T1 landing slots.
+  Stage spine(NodeId driver, const std::vector<NodeId>* skip = nullptr,
+              const std::vector<Stage>* extra = nullptr) const;
+  Stage spine_at(NodeId driver, Stage at_stage,
+                 const std::vector<NodeId>* skip = nullptr,
+                 const std::vector<Stage>* extra = nullptr) const;
+
+  // -- Plan / estimate queries (require track_plan) ---------------------------
+
+  bool tracks_plan() const { return track_plan_; }
+  /// Shared-spine plan total under the maintained ASAP stages: bit-identical
+  /// to `plan_dffs(net, stages, output_stage, clk).total_dffs()`.
+  int64_t planned_dffs() const { return total_spine_ + total_dedicated_; }
+  /// Maintained plan spine of one pin (driver_key semantics).
+  Stage plan_spine(NodeId key) const { return plan_spine_[key]; }
+  /// Maintained dedicated-landing count of T1 body \p t1.
+  int64_t t1_dedicated(NodeId t1) const { return t1_dedicated_[t1]; }
+  /// Unified-JJ estimate of the live network: bit-identical to
+  /// `model.network_breakdown(net)` in O(1).
+  JJBreakdown estimate() const;
+
+  /// Recomputes the plan spine of \p key on \p stages (any feasible stage
+  /// vector over this network, e.g. a ScheduleRefiner scratch assignment)
+  /// instead of the maintained ASAP stages.
+  Stage plan_spine_on(NodeId key, const std::vector<Stage>& stages) const;
+  /// Dedicated landing DFFs of T1 body \p t1 on \p stages.
+  int64_t t1_dedicated_on(NodeId t1, const std::vector<Stage>& stages) const;
+
+  /// Scheduled (clocked) consumer elements of pin \p key, expanded through
+  /// Buf chains, excluding T1Port taps; kNullNode marks PO sink references.
+  std::vector<NodeId> plan_consumers(NodeId key) const;
+
+  // -- Derived views ----------------------------------------------------------
+
+  /// ALAP stages under the current output stage: latest feasible stage per
+  /// scheduled node (eq.-3 aware). Cached; recomputed on first query after an
+  /// edit. `alap[id] - stage[id]` is the schedule slack of a node.
+  const std::vector<Stage>& alap_stages() const;
+
+  // -- Edits ------------------------------------------------------------------
+
+  /// Absorbs nodes created on the network since the last sync/edit: assigns
+  /// their stages, registers their fanin edges, extends every view.
+  void sync();
+
+  /// Exact record of one replace(): which consumer entries (with
+  /// multiplicity) and which PO slots moved. Sufficient to invert the edit
+  /// even when several replaces share the same destination pin (T1 port
+  /// shared by two roots of one candidate).
+  struct ReplaceUndo {
+    std::vector<NodeId> moved;
+    std::vector<std::size_t> po_indices;
+  };
+
+  /// Redirects every fanout edge and PO reference of \p oldNode to
+  /// \p newNode (exactly `Network::substitute`), updating all views in
+  /// O(fanout(oldNode) + affected cone). \p newNode must not be in the
+  /// transitive fanout of \p oldNode. Returns the undo record.
+  ReplaceUndo replace(NodeId oldNode, NodeId newNode);
+
+  /// Inverts a replace(): moves exactly the recorded edges from \p newNode
+  /// back to \p oldNode. Undos must be applied in reverse edit order.
+  void unreplace(NodeId oldNode, NodeId newNode, const ReplaceUndo& undo);
+
+  /// Marks \p id dead and retracts its fanin edges. The node must have no
+  /// live consumers (kill cones from the root down).
+  void kill(NodeId id);
+  /// Kills every node of \p cone (any order; cone-internal edges allowed),
+  /// then cascades to every gate the cone's death left dangling — e.g. a
+  /// sub-cone shared between two roots of a T1 candidate, which no single
+  /// root's MFFC contains but which dies when both do (the incremental
+  /// equivalent of `sweep_dangling` after the cone's consumers moved away;
+  /// PIs and constants are never cascaded into). Returns the full kill list
+  /// (cone + cascade) — hand it to revive_cone() to roll the edit back.
+  std::vector<NodeId> kill_cone(const std::vector<NodeId>& cone);
+  /// Kills all nodes with id >= \p from that are dangling (fanout 0, no PO),
+  /// cascading through their fanins within the same id range. Used to retract
+  /// abandoned candidate structures.
+  void kill_dangling_from(NodeId from);
+
+  /// Revives a previously killed cone (re-adds its fanin edges). The cone
+  /// must be exactly as it was when killed; used by the T1 commit guard to
+  /// roll a rejected candidate back.
+  void revive_cone(const std::vector<NodeId>& cone);
+
+  /// Full rebuild of every view from the network (the legacy path; also the
+  /// reference the property test compares incremental maintenance against).
+  void rebuild();
+
+private:
+  void move_edges(NodeId from, NodeId to, const std::vector<NodeId>& entries,
+                  const std::vector<std::size_t>& po_indices);
+  void add_edges_of(NodeId id);
+  void remove_edges_of(NodeId id);
+  void seed_stage_dirty(NodeId id);
+  void touch_spine_around(NodeId id);
+  void mark_spine_dirty(NodeId key);
+  void propagate();
+  /// Settles a commit-like edit: dirty-set propagation normally, a full
+  /// rebuild in legacy mode (mirroring the historical refresh-per-commit;
+  /// sync() stays incremental in both modes, like the old extend()).
+  void finish_commit();
+  void recompute_output_stage();
+  Stage compute_stage(NodeId id) const;
+  void update_plan_pin(NodeId key);
+  void update_t1_dedicated(NodeId t1);
+  void account_node(NodeId id, int sign);
+
+  Network& net_;
+  CostModel model_;
+  bool track_plan_ = false;
+  bool full_recompute_ = false;
+
+  std::vector<Stage> stage_;
+  std::vector<uint32_t> fanout_;
+  std::vector<std::vector<NodeId>> consumers_;
+  std::vector<uint32_t> po_refs_;  ///< PO references per node
+  Stage output_stage_ = 1;
+  bool output_stage_dirty_ = false;
+
+  // Worklists (persistent to avoid per-edit allocation).
+  std::vector<NodeId> stage_queue_;
+  std::vector<char> in_stage_queue_;
+  std::vector<NodeId> spine_dirty_;
+  std::vector<char> in_spine_dirty_;
+  std::vector<NodeId> t1_dirty_;
+  std::vector<char> in_t1_dirty_;
+
+  // Plan state (track_plan_ only).
+  std::vector<Stage> plan_spine_;
+  std::vector<int64_t> t1_dedicated_;
+  int64_t total_spine_ = 0;
+  int64_t total_dedicated_ = 0;
+
+  // Estimate accumulators (track_plan_ only).
+  int64_t logic_jj_ = 0;       ///< live non-DFF cells (library cost)
+  int64_t dff_node_jj_ = 0;    ///< live physical DFF nodes
+  int64_t clocked_cells_ = 0;  ///< live clocked cells (excl. planned DFFs)
+  std::vector<uint32_t> split_fanout_;  ///< splitter_fanouts() semantics
+  int64_t split_edges_excess_ = 0;      ///< sum of max(0, split_fanout-1)
+
+  mutable std::vector<Stage> alap_;
+  mutable bool alap_valid_ = false;
+};
+
+}  // namespace t1sfq

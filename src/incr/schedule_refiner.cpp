@@ -1,0 +1,283 @@
+#include "incr/schedule_refiner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "core/phase_assignment.hpp"
+
+namespace t1sfq {
+
+namespace {
+
+constexpr Stage kInf = std::numeric_limits<Stage>::max() / 4;
+
+bool is_const_type(GateType t) {
+  return t == GateType::Const0 || t == GateType::Const1;
+}
+
+/// Largest stage input u may take so that T1 consumer j stays feasible under
+/// eq. 3 with the other fanins fixed (mirror of the scheduler's bound).
+Stage t1_max_input_stage(const Network& net, const std::vector<Stage>& stage, NodeId j,
+                         NodeId u) {
+  const Node& body = net.node(j);
+  std::vector<Stage> others;
+  for (unsigned i = 0; i < 3; ++i) {
+    const NodeId d = resolve_producer(net, body.fanin(i));
+    if (d != u) {
+      others.push_back(stage[d]);
+    }
+  }
+  const Stage sj = stage[j];
+  const auto feasible = [&](Stage x) {
+    std::vector<Stage> s = others;
+    s.push_back(x);
+    while (s.size() < 3) {
+      s.push_back(x);  // duplicate-driver fanins collapse in `others`
+    }
+    std::sort(s.begin(), s.end());
+    return sj >= std::max({s[0] + 3, s[1] + 2, s[2] + 1});
+  };
+  for (Stage x = sj - 1; x >= sj - 3; --x) {
+    if (feasible(x)) {
+      return x;
+    }
+  }
+  return sj - 3;  // always feasible as the smallest slot candidate
+}
+
+Stage local_lower_bound(const Network& net, const std::vector<Stage>& stage, NodeId u) {
+  const Node& node = net.node(u);
+  if (node.type == GateType::T1) {
+    std::array<Stage, 3> s;
+    for (unsigned i = 0; i < 3; ++i) {
+      s[i] = stage[resolve_producer(net, node.fanin(i))];
+    }
+    std::sort(s.begin(), s.end());
+    return std::max({s[0] + 3, s[1] + 2, s[2] + 1});
+  }
+  Stage lo = 0;
+  for (uint8_t i = 0; i < node.num_fanins; ++i) {
+    const NodeId d = resolve_producer(net, node.fanin(i));
+    if (!is_const_type(net.node(d).type)) {
+      lo = std::max(lo, stage[d] + 1);
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int64_t ScheduleRefiner::refine(const std::vector<NodeId>& seeds) const {
+  const Network& net = view_.net();
+  const Stage n = static_cast<Stage>(view_.model().clk().phases);
+
+  // -- Movable set: clocked elements within `radius` hops of the seeds. ------
+  std::unordered_set<NodeId> movable;
+  std::vector<NodeId> frontier;
+  const auto try_add = [&](NodeId id, std::vector<NodeId>& next) {
+    if (id == kNullNode || net.is_dead(id)) return;
+    const GateType t = net.node(id).type;
+    if (t == GateType::T1Port) {
+      id = resolve_producer(net, id);  // move the body, not the tap
+    }
+    if (!is_clocked(net.node(id).type)) return;
+    if (movable.size() >= params_.max_movable) return;
+    if (movable.insert(id).second) {
+      next.push_back(id);
+    }
+  };
+  {
+    std::vector<NodeId> next;
+    for (const NodeId s : seeds) {
+      try_add(s, next);
+    }
+    frontier = std::move(next);
+  }
+  for (unsigned hop = 0; hop < params_.radius && !frontier.empty(); ++hop) {
+    std::vector<NodeId> next;
+    for (const NodeId u : frontier) {
+      const Node& node = net.node(u);
+      for (uint8_t i = 0; i < node.num_fanins; ++i) {
+        try_add(resolve_producer(net, node.fanin(i)), next);
+      }
+      const auto expand_consumers = [&](NodeId pin) {
+        for (const NodeId c : view_.consumers(pin)) {
+          try_add(c, next);
+        }
+      };
+      expand_consumers(u);
+      for (const NodeId c : view_.consumers(u)) {
+        if (net.node(c).type == GateType::T1Port) {
+          expand_consumers(c);  // the body's fanouts hang off its taps
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (movable.empty()) {
+    return view_.planned_dffs();
+  }
+
+  // Scratch assignment seeded with the maintained ASAP stages.
+  std::vector<Stage> scratch(net.size());
+  for (NodeId id = 0; id < net.size(); ++id) {
+    scratch[id] = view_.stage(id);
+  }
+  const auto set_stage = [&](NodeId u, Stage x) {
+    scratch[u] = x;
+    for (const NodeId c : view_.consumers(u)) {
+      if (net.node(c).type == GateType::T1Port) {
+        scratch[c] = x;  // taps alias their body
+      }
+    }
+  };
+
+  // Pins/T1s whose plan quantities a move of u can change.
+  const auto gather_scope = [&](NodeId u, std::vector<NodeId>& pins,
+                                std::vector<NodeId>& t1s) {
+    const auto add_pin = [&](NodeId p) {
+      if (std::find(pins.begin(), pins.end(), p) == pins.end()) pins.push_back(p);
+    };
+    const auto add_t1 = [&](NodeId j) {
+      if (std::find(t1s.begin(), t1s.end(), j) == t1s.end()) t1s.push_back(j);
+      const Node& body = net.node(j);
+      for (uint8_t i = 0; i < body.num_fanins; ++i) {
+        add_pin(body.fanin(i));
+      }
+    };
+    const Node& node = net.node(u);
+    if (node.type == GateType::T1) {
+      for (const NodeId c : view_.consumers(u)) {
+        if (net.node(c).type == GateType::T1Port) add_pin(c);
+      }
+      add_t1(u);
+    } else {
+      add_pin(u);
+    }
+    for (uint8_t i = 0; i < node.num_fanins; ++i) {
+      add_pin(node.fanin(i));
+    }
+    const auto scan_consumers = [&](NodeId pin) {
+      for (const NodeId c : view_.consumers(pin)) {
+        if (net.node(c).type == GateType::T1) add_t1(c);
+      }
+    };
+    scan_consumers(u);
+    for (const NodeId c : view_.consumers(u)) {
+      if (net.node(c).type == GateType::T1Port) scan_consumers(c);
+    }
+  };
+
+  std::vector<NodeId> order(movable.begin(), movable.end());
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return scratch[a] > scratch[b];  // deepest first, like the scheduler
+  });
+
+  std::vector<NodeId> touched_pins;
+  std::vector<NodeId> touched_t1s;
+  const auto accumulate = [&](const std::vector<NodeId>& pins,
+                              const std::vector<NodeId>& t1s) {
+    for (const NodeId p : pins) {
+      if (std::find(touched_pins.begin(), touched_pins.end(), p) == touched_pins.end()) {
+        touched_pins.push_back(p);
+      }
+    }
+    for (const NodeId j : t1s) {
+      if (std::find(touched_t1s.begin(), touched_t1s.end(), j) == touched_t1s.end()) {
+        touched_t1s.push_back(j);
+      }
+    }
+  };
+
+  for (unsigned sweep = 0; sweep < params_.sweeps; ++sweep) {
+    bool changed = false;
+    for (const NodeId u : order) {
+      const Stage lo = local_lower_bound(net, scratch, u);
+      Stage hi = kInf;
+      const auto bound_by = [&](NodeId pin) {
+        for (const NodeId c : view_.consumers(pin)) {
+          const Node& cn = net.node(c);
+          if (cn.type == GateType::T1Port) continue;  // tap: bounds come via its consumers
+          if (cn.type == GateType::T1) {
+            hi = std::min(hi, t1_max_input_stage(net, scratch, c, u));
+          } else if (is_clocked(cn.type)) {
+            hi = std::min(hi, scratch[c] - 1);
+          }
+        }
+        if (view_.is_po(pin)) {
+          hi = std::min(hi, view_.output_stage() - 1);
+        }
+      };
+      bound_by(u);
+      for (const NodeId c : view_.consumers(u)) {
+        if (net.node(c).type == GateType::T1Port) {
+          bound_by(c);
+        }
+      }
+      if (hi >= kInf) {
+        hi = view_.output_stage() - 1;
+      }
+      if (hi <= lo) {
+        continue;
+      }
+
+      std::vector<NodeId> pins, t1s;
+      gather_scope(u, pins, t1s);
+      const auto local_cost = [&]() {
+        int64_t c = 0;
+        for (const NodeId p : pins) {
+          c += view_.plan_spine_on(p, scratch);
+        }
+        for (const NodeId j : t1s) {
+          c += view_.t1_dedicated_on(j, scratch);
+        }
+        return c;
+      };
+
+      const Stage original = scratch[u];
+      Stage best_stage = original;
+      int64_t best_cost = local_cost();
+      std::vector<Stage> candidates;
+      if (hi - lo <= 6 * n) {
+        for (Stage x = lo; x <= hi; ++x) candidates.push_back(x);
+      } else {
+        for (Stage x = lo; x <= lo + 3 * n; ++x) candidates.push_back(x);
+        for (Stage x = hi - 3 * n; x <= hi; ++x) candidates.push_back(x);
+      }
+      for (const Stage x : candidates) {
+        if (x == original) continue;
+        set_stage(u, x);
+        if (net.node(u).type == GateType::T1 && x < local_lower_bound(net, scratch, u)) {
+          continue;  // eq. 3 must keep holding for u itself
+        }
+        const int64_t c = local_cost();
+        if (c < best_cost) {
+          best_cost = c;
+          best_stage = x;
+        }
+      }
+      set_stage(u, best_stage);
+      if (best_stage != original) {
+        changed = true;
+        accumulate(pins, t1s);
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  // Refined total: the maintained plan minus the touched pins' ASAP
+  // contributions plus their contributions under the refined stages.
+  int64_t total = view_.planned_dffs();
+  for (const NodeId p : touched_pins) {
+    total += view_.plan_spine_on(p, scratch) - view_.plan_spine(p);
+  }
+  for (const NodeId j : touched_t1s) {
+    total += view_.t1_dedicated_on(j, scratch) - view_.t1_dedicated(j);
+  }
+  return total;
+}
+
+}  // namespace t1sfq

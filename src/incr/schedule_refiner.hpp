@@ -1,0 +1,51 @@
+#pragma once
+/// \file schedule_refiner.hpp
+/// \brief Bounded local coordinate descent on stage assignments (src/incr).
+///
+/// The T1 commit guard compares shared-spine DFF estimates under ASAP stages.
+/// ASAP is the scheduler's *seed*, not its answer: the coordinate-descent
+/// sweeps of phase assignment routinely slide drivers later so landing chains
+/// align with existing spines — savings the ASAP estimate cannot see, which
+/// makes the guard decline candidates (voter-class majority trees above all)
+/// that the final schedule would have converted at a profit.
+///
+/// `ScheduleRefiner` closes that gap without paying for a full assignment per
+/// candidate: it copies the view's ASAP stages, collects the movable
+/// neighbourhood of the seed nodes (BFS over fanin/fanout edges, bounded
+/// radius and size), and runs a few sweeps of exactly the per-node move the
+/// scheduler itself uses — feasible window from the local eq.-3 bounds, exact
+/// shared-spine cost over the affected pins. The refined whole-network plan
+/// total is returned for the guard to compare; the view and the network are
+/// never mutated. Work is proportional to the movable set (plus one O(n)
+/// stage-vector copy), so a guard rescue costs about as much as the commit
+/// it vets.
+
+#include <cstdint>
+#include <vector>
+
+#include "incr/incremental_view.hpp"
+
+namespace t1sfq {
+
+struct ScheduleRefinerParams {
+  unsigned sweeps = 2;        ///< coordinate-descent passes over the movable set
+  unsigned radius = 3;        ///< BFS hops from the seeds (fanin + fanout)
+  std::size_t max_movable = 96;  ///< hard cap on the movable set
+};
+
+class ScheduleRefiner {
+public:
+  explicit ScheduleRefiner(const IncrementalView& view, ScheduleRefinerParams params = {})
+      : view_(view), params_(params) {}
+
+  /// Refines stages around \p seeds and returns the planned-DFF total of the
+  /// whole network under the refined assignment (== view.planned_dffs() when
+  /// no move improves). The refined assignment is feasible by construction.
+  int64_t refine(const std::vector<NodeId>& seeds) const;
+
+private:
+  const IncrementalView& view_;
+  ScheduleRefinerParams params_;
+};
+
+}  // namespace t1sfq

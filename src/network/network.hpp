@@ -170,6 +170,17 @@ public:
   /// The old node is *not* marked dead automatically.
   void substitute(NodeId oldNode, NodeId newNode);
   void mark_dead(NodeId id) { nodes_[id].dead = true; }
+  /// Undoes mark_dead (commit-guard rollback; see incr/incremental_view.hpp).
+  void revive(NodeId id) { nodes_[id].dead = false; }
+
+  /// Point edits for incremental substitution (incr/incremental_view.hpp
+  /// performs `substitute` consumer-by-consumer through these): redirect one
+  /// fanin slot / one PO reference. Like `substitute`, neither re-sorts
+  /// commutative fanins nor updates structural-hashing state.
+  void set_fanin(NodeId consumer, unsigned idx, NodeId to) {
+    nodes_[consumer].fanins[idx] = to;
+  }
+  void set_po(std::size_t idx, NodeId node) { pos_[idx] = node; }
 
   /// Marks nodes unreachable from the POs dead. Returns how many died.
   std::size_t sweep_dangling();

@@ -1,6 +1,7 @@
 #include "opt/balancing.hpp"
 
 #include "cost/cost_model.hpp"
+#include "incr/incremental_view.hpp"
 #include <algorithm>
 #include <queue>
 #include <unordered_map>
@@ -52,8 +53,8 @@ struct TreePlan {
 };
 
 TreePlan combine_tree(Family family, bool use_ternary, const CostModel& model,
-                      std::vector<std::pair<uint32_t, NodeId>> operands, Network* net,
-                      std::vector<uint32_t>* lvl, NodeId* root_out) {
+                      std::vector<std::pair<uint32_t, NodeId>> operands,
+                      IncrementalView* view, NodeId* root_out) {
   const uint64_t jj2 = static_cast<uint64_t>(model.cell_jj(binary_op(family)));
   const uint64_t jj3 = static_cast<uint64_t>(model.cell_jj(ternary_op(family)));
   using Item = std::pair<uint32_t, NodeId>;
@@ -69,13 +70,14 @@ TreePlan combine_tree(Family family, bool use_ternary, const CostModel& model,
     }
     const uint32_t level = picked.back().first + 1;  // max: queue pops ascending
     NodeId id = kNullNode;
-    if (net) {
+    if (view) {
       std::vector<NodeId> fanins;
       for (const Item& it : picked) {
         fanins.push_back(it.second);
       }
-      id = net->add_gate(arity == 2 ? binary_op(family) : ternary_op(family), fanins);
-      extend_levels(*net, *lvl);
+      id = view->net().add_gate(arity == 2 ? binary_op(family) : ternary_op(family),
+                                fanins);
+      view->sync();
     }
     plan.jj += arity == 2 ? jj2 : jj3;
     queue.push({level, id});
@@ -104,19 +106,21 @@ TreePlan combine_tree(Family family, bool use_ternary, const CostModel& model,
 
 std::size_t BalancingPass::run(Network& net) {
   const CostModel model = params_.cost();
-  std::vector<uint32_t> lvl = net.levels();
-  std::vector<uint32_t> fanout = net.fanout_counts();
-  std::vector<std::vector<NodeId>> consumers = net.fanout_lists();
+  // Levels, fanouts and consumer lists all come from the incremental view;
+  // commits keep them fresh at affected-cone cost (previously three full
+  // recomputes per commit).
+  IncrementalView view(net, model);
+  view.set_full_recompute(!params_.incremental);
   std::size_t applied = 0;
 
   for (const NodeId root : net.topo_order()) {
-    if (net.is_dead(root) || fanout[root] == 0) continue;
+    if (net.is_dead(root) || view.fanout(root) == 0) continue;
     const Family family = family_of(net.node(root).type);
     if (family == Family::None) continue;
     // Only maximal chain tops: a single-fanout node feeding a same-family
     // consumer is collapsed when that consumer is processed.
-    if (fanout[root] == 1 && consumers[root].size() == 1 &&
-        family_of(net.node(consumers[root][0]).type) == family) {
+    if (view.fanout(root) == 1 && view.consumers(root).size() == 1 &&
+        family_of(net.node(view.consumers(root)[0]).type) == family) {
       continue;
     }
 
@@ -131,7 +135,7 @@ std::size_t BalancingPass::run(Network& net) {
       old_jj += static_cast<uint64_t>(model.cell_jj(n.type));
       for (uint8_t i = 0; i < n.num_fanins; ++i) {
         const NodeId f = n.fanin(i);
-        if (family_of(net.node(f).type) == family && fanout[f] == 1) {
+        if (family_of(net.node(f).type) == family && view.fanout(f) == 1) {
           stack.push_back(f);
         } else {
           operands.push_back(f);
@@ -139,6 +143,7 @@ std::size_t BalancingPass::run(Network& net) {
       }
     }
     if (operands.size() <= 2 || operands.size() > 128) continue;
+    const NodeId size_before = static_cast<NodeId>(net.size());
 
     // Algebraic cleanup. Operands are tracked as (base, phase): an explicit
     // inverter operand contributes its fanin with phase 1.
@@ -165,7 +170,7 @@ std::size_t BalancingPass::run(Network& net) {
         const unsigned mask = seen[base];
         if (family == Family::Xor) {
           if (parity[base] & 1) {
-            kept.push_back({lvl[base], base});
+            kept.push_back({view.level(base), base});
           }
         } else if (mask == 3u) {
           // x and NOT x in the same And/Or chain: constant.
@@ -175,14 +180,14 @@ std::size_t BalancingPass::run(Network& net) {
         } else {
           // Usually strash returns the chain's own inverter, but an earlier
           // commit may have rewired it (stale hash bucket) and a fresh node
-          // can appear: extend the level array and bill its cost.
-          const std::size_t size_before = net.size();
+          // can appear: sync the view and bill its cost.
+          const std::size_t nodes_before = net.size();
           const NodeId op = mask == 2u ? net.add_not(base) : base;
-          if (net.size() > size_before) {
-            extend_levels(net, lvl);
+          if (net.size() > nodes_before) {
+            view.sync();
             extra_jj += static_cast<uint64_t>(model.cell_jj(GateType::Not));
           }
-          kept.push_back({lvl[op], op});
+          kept.push_back({view.level(op), op});
         }
       }
     }
@@ -195,15 +200,15 @@ std::size_t BalancingPass::run(Network& net) {
       new_root = invert_output ? net.get_const1() : net.get_const0();
     } else if (kept.size() == 1) {
       new_root = invert_output ? net.add_not(kept[0].second) : kept[0].second;
-      extend_levels(net, lvl);
-      new_level = lvl[new_root];
+      view.sync();
+      new_level = view.level(new_root);
     } else {
       const uint64_t jj_not =
           invert_output ? static_cast<uint64_t>(model.cell_jj(GateType::Not)) : 0;
       const TreePlan ternary =
-          combine_tree(family, true, model, kept, nullptr, nullptr, nullptr);
+          combine_tree(family, true, model, kept, nullptr, nullptr);
       const TreePlan binary =
-          combine_tree(family, false, model, kept, nullptr, nullptr, nullptr);
+          combine_tree(family, false, model, kept, nullptr, nullptr);
       const bool pick_ternary = ternary.level < binary.level ||
                                 (ternary.level == binary.level && ternary.jj <= binary.jj);
       const TreePlan& plan = pick_ternary ? ternary : binary;
@@ -211,26 +216,27 @@ std::size_t BalancingPass::run(Network& net) {
       const uint64_t plan_jj = plan.jj + jj_not + extra_jj;
       // Commit only on strict improvement in (level, JJ) with neither axis
       // regressing: depth and area both stay monotone under this pass.
-      if (plan_level > lvl[root] || plan_jj > old_jj ||
-          (plan_level == lvl[root] && plan_jj == old_jj)) {
+      if (plan_level > view.level(root) || plan_jj > old_jj ||
+          (plan_level == view.level(root) && plan_jj == old_jj)) {
+        view.kill_dangling_from(size_before);  // retract cleanup inverters
         continue;
       }
-      combine_tree(family, pick_ternary, model, kept, &net, &lvl, &new_root);
+      combine_tree(family, pick_ternary, model, kept, &view, &new_root);
       if (invert_output) {
         new_root = net.add_not(new_root);
       }
-      extend_levels(net, lvl);
-      new_level = lvl[new_root];
+      view.sync();
+      new_level = view.level(new_root);
     }
 
-    extend_levels(net, lvl);  // covers constants created by the folding paths
-    if (new_root == kNullNode || new_root == root) continue;
-    if (new_level > lvl[root]) continue;  // realized worse than planned: abandon
-    net.substitute(root, new_root);
+    view.sync();  // covers constants created by the folding paths
+    if (new_root == kNullNode || new_root == root ||
+        new_level > view.level(root)) {  // realized worse than planned: abandon
+      view.kill_dangling_from(size_before);
+      continue;
+    }
+    view.replace(root, new_root);
     ++applied;
-    fanout = net.fanout_counts();
-    consumers = net.fanout_lists();
-    lvl = net.levels();  // downstream guards compare against fresh levels
   }
 
   net.sweep_dangling();

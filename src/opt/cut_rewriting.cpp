@@ -24,7 +24,12 @@ std::size_t CutRewritingPass::run(Network& net) {
   cp.compute_functions = true;
   const std::vector<CutSet> cuts = enumerate_cuts(net, cp);
 
-  CostDelta cd(net, params_.cost());
+  // All analysis state lives in the incremental view: commits land through
+  // `view.replace` and only the affected cone is re-derived (the legacy flag
+  // services every commit with a full rebuild instead).
+  IncrementalView view(net, params_.cost());
+  view.set_full_recompute(!params_.incremental);
+  CostDelta cd(view);
   // Roots committed earlier in this sweep become dangling; cuts of downstream
   // nodes may still name them as leaves, so leaf references are chased to
   // their live replacement (functions are preserved by every commit).
@@ -100,22 +105,21 @@ std::size_t CutRewritingPass::run(Network& net) {
     }
     if (!best) continue;
 
+    const NodeId size_before = static_cast<NodeId>(net.size());
     const NodeId new_root = db.instantiate(best->match, best->leaves, net);
-    cd.extend();
-    if (new_root == root) continue;
+    view.sync();
     // Never regress depth: a commit whose realized root level exceeds the old
-    // one is abandoned, and one that realized no depth win must stand on a
-    // strict JJ improvement (the dangling structure is swept at pass end).
-    if (cd.level(new_root) > cd.level(root) ||
+    // one is abandoned (its freshly created structure retracted so later
+    // pricing never sees phantom edges), and one that realized no depth win
+    // must stand on a strict JJ improvement.
+    if (new_root == root || cd.level(new_root) > cd.level(root) ||
         (cd.level(new_root) == cd.level(root) && best->delta >= 0)) {
+      view.kill_dangling_from(size_before);
       continue;
     }
-    net.substitute(root, new_root);
+    view.replace(root, new_root);
     replaced_by.resize(net.size(), kNullNode);
     replaced_by[root] = new_root;
-    // Refresh all cost state so later candidates price against upstream
-    // improvements instead of the stale pass-entry values.
-    cd.refresh();
     ++applied;
   }
 

@@ -29,30 +29,6 @@ bool is_opt_gate(GateType type) {
   }
 }
 
-void extend_levels(const Network& net, std::vector<uint32_t>& lvl) {
-  for (NodeId id = static_cast<NodeId>(lvl.size()); id < net.size(); ++id) {
-    const Node& n = net.node(id);
-    switch (n.type) {
-      case GateType::Const0:
-      case GateType::Const1:
-      case GateType::Pi:
-        lvl.push_back(0);
-        break;
-      case GateType::Buf:
-      case GateType::T1Port:
-        lvl.push_back(lvl[n.fanin(0)]);
-        break;
-      default: {
-        uint32_t m = 0;
-        for (uint8_t i = 0; i < n.num_fanins; ++i) {
-          m = std::max(m, lvl[n.fanin(i)]);
-        }
-        lvl.push_back(m + 1);
-      }
-    }
-  }
-}
-
 int64_t estimate_plan_dffs(const Network& net, const MultiphaseConfig& clk) {
   const auto lvl = net.levels();
   std::vector<Stage> stage(lvl.size(), 0);

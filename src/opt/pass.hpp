@@ -44,6 +44,12 @@ struct OptParams {
   unsigned sim_words = 8;        ///< resub signature words (64 patterns each)
   uint64_t sat_conflict_budget = 20000;  ///< per resubstitution proof
   bool verify = true;            ///< pass-level equivalence guard (revert on failure)
+  /// Maintain analysis state (fanouts, levels, consumer lists, spines)
+  /// incrementally through `IncrementalView` as commits land — update cost
+  /// proportional to the affected cone. False services every commit with a
+  /// full O(n) recompute instead (identical results; the legacy-complexity
+  /// path bench/scaling.cpp measures against).
+  bool incremental = true;
   /// Conflict cap for the pass-level SAT guard; 0 = unlimited. Random
   /// simulation always runs in full, so a budget-out can only ever keep a
   /// change whose transforms were already individually proven.
@@ -134,10 +140,5 @@ bool is_opt_gate(GateType type);
 /// the `plan_dffs` cost model of phase_assignment.hpp applied pre-mapping.
 /// This is the objective the DFF-aware passes optimize against.
 int64_t estimate_plan_dffs(const Network& net, const MultiphaseConfig& clk);
-
-/// Extends a `Network::levels()` array for nodes created after it was
-/// computed. Newly created nodes in optimization passes are always plain
-/// clocked gates, each one level above its deepest fanin.
-void extend_levels(const Network& net, std::vector<uint32_t>& lvl);
 
 }  // namespace t1sfq

@@ -41,8 +41,11 @@ std::size_t ResubstitutionPass::run(Network& net) {
   const std::size_t n0 = net.size();
 
   // Unified JJ pricing: gate bodies + clock shares + splitters + the
-  // shared-spine DFF model, all through the incremental evaluator.
-  CostDelta cd(net, params_.cost());
+  // shared-spine DFF model, all through the incremental evaluator. Commits
+  // land through the view; no O(n) refresh per commit.
+  IncrementalView view(net, params_.cost());
+  view.set_full_recompute(!params_.incremental);
+  CostDelta cd(view);
 
   // Word-parallel signatures: `words` 64-bit words per node. The first word
   // pins the all-zero and all-one patterns into bits 0/1 so stuck-at signals
@@ -164,9 +167,11 @@ std::size_t ResubstitutionPass::run(Network& net) {
         if (cand.invert) {
           new_node = net.add_not(cand.donor);
           not_of[cand.donor] = new_node;
-          cd.extend();
+          view.sync();
         }
-        net.substitute(target, new_node);
+        // Consumer levels may drop and fanouts move: the view re-derives the
+        // affected cone as part of the commit.
+        view.replace(target, new_node);
         // The cone may contain inverters created by earlier commits, whose
         // ids lie beyond the initial `alive` span — they are never donors or
         // targets, so only the original ids need the bookkeeping.
@@ -175,8 +180,6 @@ std::size_t ResubstitutionPass::run(Network& net) {
             alive[d] = 0;
           }
         }
-        // Consumer levels may drop and fanouts move: keep the pricing fresh.
-        cd.refresh();
         ++applied;
         break;
       }

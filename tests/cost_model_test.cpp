@@ -141,7 +141,8 @@ TEST(CostDelta, SpineAndConePricing) {
   }
   net.add_po(x);
   const CostModel m{CellLibrary{}, AreaConfig{}, MultiphaseConfig{4}};
-  const CostDelta cd(net, m);
+  IncrementalView view(net, m);
+  const CostDelta cd(view);
   // b feeds consumers at levels 1..9 from level 0: spine = ceil(9/4)-1 = 2.
   EXPECT_EQ(cd.spine(b), 2);
   EXPECT_EQ(cd.spine(a), 0);  // only consumer at level 1
@@ -161,7 +162,8 @@ TEST(CostDelta, ResubDeltaPrefersSharingAndReclaimsTheCone) {
   net.add_po(donor);
   net.add_po(net.add_or(target_inv, a));
   const CostModel m{CellLibrary{}, AreaConfig{}, MultiphaseConfig{4}};
-  const CostDelta cd(net, m);
+  IncrementalView view(net, m);
+  const CostDelta cd(view);
   const std::vector<NodeId> cone{target_inv, target};
   const int64_t delta = cd.resub_delta(target_inv, cone, donor, false, kNullNode);
   // Nand2 + Not die (11+1 + 9+1 = 22 JJ); the donor pin gains one splitter.

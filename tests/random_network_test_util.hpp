@@ -1,11 +1,12 @@
 #pragma once
 /// \file random_network_test_util.hpp
 /// \brief Shared random-network generator for property-based tests.
+///
+/// Forwards to the library-side generator (benchmarks/random_net.hpp) with
+/// the historical property-test output policy, so the tests and the scaling
+/// bench exercise the same distribution.
 
-#include <random>
-#include <string>
-#include <vector>
-
+#include "benchmarks/random_net.hpp"
 #include "network/network.hpp"
 
 namespace t1sfq {
@@ -14,33 +15,8 @@ namespace testutil {
 /// Random DAG over the SFQ cell vocabulary. Biased toward xor/and/or pairs so
 /// T1-matchable cones appear organically.
 inline Network random_network(uint64_t seed, unsigned num_pis, unsigned num_gates) {
-  std::mt19937_64 rng(seed);
-  Network net("rand" + std::to_string(seed));
-  std::vector<NodeId> pool;
-  for (unsigned i = 0; i < num_pis; ++i) {
-    pool.push_back(net.add_pi());
-  }
-  const auto pick = [&] { return pool[rng() % pool.size()]; };
-  for (unsigned g = 0; g < num_gates; ++g) {
-    NodeId n = kNullNode;
-    switch (rng() % 8) {
-      case 0: n = net.add_and(pick(), pick()); break;
-      case 1: n = net.add_or(pick(), pick()); break;
-      case 2:
-      case 3: n = net.add_xor(pick(), pick()); break;
-      case 4: n = net.add_not(pick()); break;
-      case 5: n = net.add_maj(pick(), pick(), pick()); break;
-      case 6: n = net.add_xor3(pick(), pick(), pick()); break;
-      case 7: n = net.add_nand(pick(), pick()); break;
-    }
-    pool.push_back(n);
-  }
-  // Outputs: a handful of the deepest nodes plus a random sample.
-  for (unsigned i = 0; i < 4 && i < pool.size(); ++i) {
-    net.add_po(pool[pool.size() - 1 - i]);
-  }
-  net.add_po(pool[rng() % pool.size()]);
-  return net;
+  return bench::random_network(seed, num_pis, num_gates,
+                               bench::RandomPoPolicy::SampleDeepest);
 }
 
 }  // namespace testutil
