@@ -8,7 +8,7 @@ namespace t1sfq {
 namespace bench {
 
 Network random_network(uint64_t seed, unsigned num_pis, unsigned num_gates,
-                       RandomPoPolicy policy) {
+                       RandomPoPolicy policy, unsigned plant_cone_every) {
   std::mt19937_64 rng(seed);
   Network net("rand" + std::to_string(seed));
   std::vector<NodeId> pool;
@@ -16,7 +16,23 @@ Network random_network(uint64_t seed, unsigned num_pis, unsigned num_gates,
     pool.push_back(net.add_pi());
   }
   const auto pick = [&] { return pool[rng() % pool.size()]; };
+  NodeId carry_chain = kNullNode;  // last planted maj3, ripple-style
   for (unsigned g = 0; g < num_gates; ++g) {
+    if (plant_cone_every != 0 && g % plant_cone_every == plant_cone_every - 1 &&
+        g + 1 < num_gates) {
+      // Shareable cone: sum/carry pair over one leaf triple (two T1-matchable
+      // cuts on the same leaves), carry-chained into the next plant.
+      const NodeId a = pick();
+      const NodeId b = pick();
+      const NodeId c = carry_chain == kNullNode ? pick() : carry_chain;
+      const NodeId sum = net.add_xor3(a, b, c);
+      const NodeId carry = net.add_maj(a, b, c);
+      pool.push_back(sum);
+      pool.push_back(carry);
+      carry_chain = carry;
+      ++g;  // the pair consumes two slots of the gate budget
+      continue;
+    }
     NodeId n = kNullNode;
     switch (rng() % 8) {
       case 0: n = net.add_and(pick(), pick()); break;

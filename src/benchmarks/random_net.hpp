@@ -29,8 +29,21 @@ enum class RandomPoPolicy {
 /// Random DAG with \p num_gates gates over \p num_pis inputs. Deterministic
 /// in \p seed; for a given seed the generated gate structure is identical
 /// across policies (the policy only selects the outputs).
+///
+/// \p plant_cone_every, when nonzero, interleaves one *shareable cone* per
+/// that many generated gates: a full-adder-shaped xor3/maj3 pair over three
+/// shared leaves, with the maj3 ("carry") chained into the next planted pair
+/// like a ripple adder. Each pair is a T1 candidate group meeting the paper's
+/// 2-cuts-per-group floor, and the carry chaining gives detection the
+/// port-reuse context that makes conversion profitable — purely random DAGs
+/// almost never form such groups, which used to leave detection unexercised
+/// on this family (bench/scaling asserts it converts now). The planted gates
+/// count toward \p num_gates and join the pool like any other node, so later
+/// random gates consume them. 0 (the default) reproduces the historical
+/// stream bit-exactly.
 Network random_network(uint64_t seed, unsigned num_pis, unsigned num_gates,
-                       RandomPoPolicy policy = RandomPoPolicy::SampleDeepest);
+                       RandomPoPolicy policy = RandomPoPolicy::SampleDeepest,
+                       unsigned plant_cone_every = 0);
 
 }  // namespace bench
 }  // namespace t1sfq

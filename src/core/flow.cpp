@@ -52,6 +52,11 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
   pp.max_sweeps = params.max_sweeps;
   pp.milp_max_nodes = params.milp_max_nodes;
   pp.output_slack = params.output_slack;
+  // The incremental scheduler computes its own ASAP/slack seed here; the
+  // view-seeded overload `assign_phases(view, pp)` produces the identical
+  // result (pinned by test) and exists for callers that already hold a
+  // maintained view — constructing a throwaway one would only add work.
+  pp.incremental = params.incremental_assignment;
   result.assignment = assign_phases(result.mapped, pp);
   if (!result.assignment.feasible) {
     throw std::runtime_error("run_flow: no feasible phase assignment");

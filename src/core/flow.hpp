@@ -34,6 +34,9 @@ struct FlowParams {
   /// Latency slack for a min-area mode: extra stages granted to the balanced
   /// output sink (see PhaseAssignmentParams::output_slack).
   Stage output_slack = 0;
+  /// View-seeded incremental phase assignment (identical schedules to the
+  /// legacy full-sweep scheduler; see PhaseAssignmentParams::incremental).
+  bool incremental_assignment = true;
   CellLibrary lib{};
   AreaConfig area{};
   T1DetectionParams detection{};

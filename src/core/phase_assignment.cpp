@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "incr/incremental_view.hpp"
 #include "solver/milp.hpp"
 
 namespace t1sfq {
@@ -186,6 +187,56 @@ bool assignment_feasible(const Network& net, const std::vector<Stage>& stage,
   return true;
 }
 
+Stage sched_local_lower_bound(const Network& net, const std::vector<Stage>& stage,
+                              NodeId u) {
+  const Node& node = net.node(u);
+  if (node.type == GateType::T1) {
+    std::array<Stage, 3> s;
+    for (unsigned i = 0; i < 3; ++i) {
+      s[i] = stage[resolve_producer(net, node.fanin(i))];
+    }
+    std::sort(s.begin(), s.end());
+    return std::max({s[0] + 3, s[1] + 2, s[2] + 1});
+  }
+  Stage lo = 0;
+  for (uint8_t i = 0; i < node.num_fanins; ++i) {
+    const NodeId d = resolve_producer(net, node.fanin(i));
+    if (!is_const(net, d)) {
+      lo = std::max(lo, stage[d] + 1);
+    }
+  }
+  return lo;
+}
+
+Stage sched_t1_max_input_stage(const Network& net, const std::vector<Stage>& stage,
+                               NodeId j, NodeId u) {
+  const Node& body = net.node(j);
+  std::vector<Stage> others;
+  for (unsigned i = 0; i < 3; ++i) {
+    const NodeId d = resolve_producer(net, body.fanin(i));
+    if (d != u) {
+      others.push_back(stage[d]);
+    }
+  }
+  const Stage sj = stage[j];
+  const auto feasible = [&](Stage x) {
+    std::vector<Stage> s = others;
+    s.push_back(x);
+    // Fanins from the same driver appear once in `others`; pad with x.
+    while (s.size() < 3) {
+      s.push_back(x);
+    }
+    std::sort(s.begin(), s.end());
+    return sj >= std::max({s[0] + 3, s[1] + 2, s[2] + 1});
+  };
+  for (Stage x = sj - 1; x >= sj - 3; --x) {
+    if (feasible(x)) {
+      return x;
+    }
+  }
+  return sj - 3;  // always feasible as the smallest slot candidate
+}
+
 namespace {
 
 /// Scheduling context: consumer lists per physical pin (driver_key), plus the
@@ -283,64 +334,57 @@ struct SchedContext {
   }
 };
 
-/// Minimal feasible stage for a node given its fanins (local lower bound).
-Stage local_lower_bound(const Network& net, const std::vector<Stage>& stage, NodeId u) {
-  const Node& node = net.node(u);
-  if (node.type == GateType::T1) {
-    std::array<Stage, 3> s;
-    for (unsigned i = 0; i < 3; ++i) {
-      s[i] = stage[resolve_producer(net, node.fanin(i))];
+/// Conservative eq.-3-aware ALAP of every scheduled element under the sink
+/// stage \p out: the latest stage each element can take while every consumer
+/// stays feasible when nothing else moves (T1 fanins bounded by the smallest
+/// landing slot). Mirrors `IncrementalView::compute_alap` (over SchedContext
+/// pins instead of the view's consumer lists, honoring an `output_slack`-
+/// extended sink) — the two recurrences MUST stay in lockstep: the
+/// view-seeded and from-scratch scheduler paths are pinned identical by
+/// tests, and a bound tightened in only one copy would silently under-mark
+/// the other's first sweep. `alap[u] - asap[u]` seeds the incremental
+/// scheduler's first sweep: a zero-slack node's move window is provably
+/// empty until a neighbour's committed move re-opens it.
+std::vector<Stage> sched_alap(const Network& net, const SchedContext& ctx,
+                              const std::vector<Stage>& asap, Stage out) {
+  std::vector<Stage> alap(net.size(), 0);
+  auto order = net.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    Stage hi = kInf;
+    for (const NodeId p : ctx.pins[id]) {
+      for (const NodeId c : ctx.consumers[p]) {
+        if (c == kNullNode) {
+          hi = std::min(hi, out - 1);
+        } else if (net.node(c).type == GateType::T1) {
+          hi = std::min(hi, alap[c] - 3);
+        } else {
+          hi = std::min(hi, alap[c] - 1);
+        }
+      }
     }
-    std::sort(s.begin(), s.end());
-    return std::max({s[0] + 3, s[1] + 2, s[2] + 1});
-  }
-  Stage lo = 0;
-  for (uint8_t i = 0; i < node.num_fanins; ++i) {
-    const NodeId d = resolve_producer(net, node.fanin(i));
-    if (!is_const(net, d)) {
-      lo = std::max(lo, stage[d] + 1);
+    if (hi >= kInf) {
+      hi = out - 1;  // dangling: only the sink bounds it
     }
+    alap[id] = std::max(hi, asap[id]);
   }
-  return lo;
+  return alap;
 }
 
-/// Largest stage input u may take so that T1 consumer j stays feasible
-/// (other fanins fixed).
-Stage t1_max_input_stage(const Network& net, const std::vector<Stage>& stage, NodeId j,
-                         NodeId u) {
-  const Node& body = net.node(j);
-  std::vector<Stage> others;
-  for (unsigned i = 0; i < 3; ++i) {
-    const NodeId d = resolve_producer(net, body.fanin(i));
-    if (d != u) {
-      others.push_back(stage[d]);
-    }
-  }
-  const Stage sj = stage[j];
-  const auto feasible = [&](Stage x) {
-    std::vector<Stage> s = others;
-    s.push_back(x);
-    // Fanins from the same driver appear once in `others`; pad with x.
-    while (s.size() < 3) {
-      s.push_back(x);
-    }
-    std::sort(s.begin(), s.end());
-    return sj >= std::max({s[0] + 3, s[1] + 2, s[2] + 1});
-  };
-  for (Stage x = sj - 1; x >= sj - 3; --x) {
-    if (feasible(x)) {
-      return x;
-    }
-  }
-  return sj - 3;  // always feasible as the smallest slot candidate
-}
-
-PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams& params) {
+PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams& params,
+                                 const IncrementalView* view) {
   PhaseAssignment pa;
-  const auto lvl = net.levels();
   pa.stage.assign(net.size(), 0);
-  for (NodeId id = 0; id < net.size(); ++id) {
-    pa.stage[id] = static_cast<Stage>(lvl[id]);
+  if (view) {
+    // View-seeded: the maintained ASAP stages are the levels, already current.
+    for (NodeId id = 0; id < net.size(); ++id) {
+      pa.stage[id] = view->stage(id);
+    }
+  } else {
+    const auto lvl = net.levels();
+    for (NodeId id = 0; id < net.size(); ++id) {
+      pa.stage[id] = static_cast<Stage>(lvl[id]);
+    }
   }
   Stage out = 0;
   for (const NodeId po : net.pos()) {
@@ -359,13 +403,120 @@ PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams
   auto order = net.topo_order();
   std::reverse(order.begin(), order.end());
 
+  // -- Incremental sweep machinery (identical schedules, less work). ---------
+  //
+  // A node's evaluation is deterministic in the stages it reads (its move
+  // window and the spines/dedicated counts of its cost scope). The full sweep
+  // re-runs every evaluation every pass; here a node is evaluated only while
+  // `dirty` — seeded by slack for the first sweep, then by exactly the
+  // committed moves whose stage enters the node's read set. Within a sweep
+  // the fixed reverse-topo order means a move can only dirty nodes that are
+  // either later in the current pass (evaluated this pass, as the full sweep
+  // would) or earlier (evaluated next pass, as the full sweep would).
+  const bool incr = params.incremental;
+  std::vector<char> dirty;
+  const auto mark = [&](NodeId v) {
+    if (v != kNullNode && is_scheduled(net.node(v).type)) {
+      dirty[v] = 1;
+    }
+  };
+  // Everyone whose cost evaluation reads the spines of d's pins: d itself,
+  // the consumers of those pins, and — where a pin feeds a T1 — the slot
+  // permutation's co-drivers.
+  const auto mark_spine_readers = [&](NodeId d) {
+    mark(d);
+    for (const NodeId p : ctx.pins[d]) {
+      for (const NodeId c : ctx.consumers[p]) {
+        if (c == kNullNode) continue;
+        mark(c);
+        if (net.node(c).type == GateType::T1) {
+          const Node& b = net.node(c);
+          for (unsigned i = 0; i < 3; ++i) {
+            mark(resolve_producer(net, b.fanin(i)));
+          }
+        }
+      }
+    }
+  };
+  // Over-approximation of "whose evaluation reads stage[w]": w's window
+  // bounds enter its producers and consumers; w's stage enters the spines of
+  // its producers' pins and (through eq.-3 slot permutations) of every
+  // driver of a T1 it feeds.
+  const auto mark_affected = [&](NodeId w) {
+    mark(w);
+    const Node& node = net.node(w);
+    for (uint8_t i = 0; i < node.num_fanins; ++i) {
+      mark_spine_readers(resolve_producer(net, node.fanin(i)));
+    }
+    for (const NodeId p : ctx.pins[w]) {
+      for (const NodeId c : ctx.consumers[p]) {
+        if (c == kNullNode) continue;
+        mark(c);
+        if (net.node(c).type == GateType::T1) {
+          const Node& b = net.node(c);
+          for (unsigned i = 0; i < 3; ++i) {
+            mark_spine_readers(resolve_producer(net, b.fanin(i)));
+          }
+        }
+      }
+    }
+  };
+  if (incr) {
+    dirty.assign(net.size(), 0);
+    const std::vector<Stage> alap =
+        (view && params.output_slack == 0)
+            ? view->alap_stages()            // the view maintains exactly this
+            : sched_alap(net, ctx, pa.stage, out);
+    // Exact first-sweep window bound of \p u at the all-ASAP seed (where the
+    // local lower bound IS the seed stage): the same bound the sweep itself
+    // computes. Used where the conservative ALAP under-reports the window of
+    // a T1 input (eq. 3 grants up to slot −1 where ALAP assumes −3).
+    const auto sweep1_window_open = [&](NodeId u) {
+      Stage hi = kInf;
+      for (const NodeId p : ctx.pins[u]) {
+        for (const NodeId j : ctx.consumers[p]) {
+          if (j == kNullNode) {
+            hi = std::min(hi, out - 1);
+          } else if (net.node(j).type == GateType::T1) {
+            hi = std::min(hi, sched_t1_max_input_stage(net, pa.stage, j, u));
+          } else {
+            hi = std::min(hi, pa.stage[j] - 1);
+          }
+        }
+      }
+      if (hi >= kInf) {
+        hi = out - 1;
+      }
+      return hi > pa.stage[u];
+    };
+    for (const NodeId u : order) {
+      if (!is_scheduled(net.node(u).type)) continue;
+      bool open = alap[u] > pa.stage[u];
+      bool coupled = false;  // eq.-3-coupled: ALAP is conservative here
+      if (!open) {
+        for (const NodeId p : ctx.pins[u]) {
+          for (const NodeId c : ctx.consumers[p]) {
+            coupled |= c != kNullNode && net.node(c).type == GateType::T1;
+          }
+        }
+      }
+      if (open || (coupled && sweep1_window_open(u))) {
+        dirty[u] = 1;
+      }
+    }
+  }
+
   for (unsigned sweep = 0; sweep < params.max_sweeps; ++sweep) {
     bool changed = false;
     for (const NodeId u : order) {
       const Node& node = net.node(u);
       if (!is_scheduled(node.type)) continue;
+      if (incr) {
+        if (!dirty[u]) continue;
+        dirty[u] = 0;
+      }
 
-      const Stage lo = local_lower_bound(net, pa.stage, u);
+      const Stage lo = sched_local_lower_bound(net, pa.stage, u);
       Stage hi = kInf;
       std::vector<NodeId> u_consumers;
       for (const NodeId pin : ctx.pins[u]) {
@@ -376,7 +527,7 @@ PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams
         if (j == kNullNode) {
           hi = std::min(hi, out - 1);
         } else if (net.node(j).type == GateType::T1) {
-          hi = std::min(hi, t1_max_input_stage(net, pa.stage, j, u));
+          hi = std::min(hi, sched_t1_max_input_stage(net, pa.stage, j, u));
         } else {
           hi = std::min(hi, pa.stage[j] - 1);
         }
@@ -443,7 +594,8 @@ PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams
       for (const Stage x : candidates) {
         if (x == original) continue;
         pa.stage[u] = x;
-        if (node.type == GateType::T1 && pa.stage[u] < local_lower_bound(net, pa.stage, u)) {
+        if (node.type == GateType::T1 &&
+            pa.stage[u] < sched_local_lower_bound(net, pa.stage, u)) {
           continue;  // eq. 3 must keep holding for u itself
         }
         const int64_t c = local_cost();
@@ -455,6 +607,9 @@ PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams
       pa.stage[u] = best_stage;
       if (best_stage != original) {
         changed = true;
+        if (incr) {
+          mark_affected(u);
+        }
       }
     }
     if (!changed) {
@@ -475,10 +630,11 @@ PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams
   return pa;
 }
 
-PhaseAssignment milp_assign(const Network& net, const PhaseAssignmentParams& params) {
+PhaseAssignment milp_assign(const Network& net, const PhaseAssignmentParams& params,
+                            const IncrementalView* view) {
   // Seed with the heuristic: it fixes the output stage and provides bounds
   // and a fallback result.
-  PhaseAssignment seed = heuristic_assign(net, params);
+  PhaseAssignment seed = heuristic_assign(net, params, view);
   if (!seed.feasible) {
     return seed;
   }
@@ -626,10 +782,21 @@ PhaseAssignment milp_assign(const Network& net, const PhaseAssignmentParams& par
 PhaseAssignment assign_phases(const Network& net, const PhaseAssignmentParams& params) {
   switch (params.engine) {
     case PhaseEngine::ExactMilp:
-      return milp_assign(net, params);
+      return milp_assign(net, params, nullptr);
     case PhaseEngine::Heuristic:
     default:
-      return heuristic_assign(net, params);
+      return heuristic_assign(net, params, nullptr);
+  }
+}
+
+PhaseAssignment assign_phases(const IncrementalView& view,
+                              const PhaseAssignmentParams& params) {
+  switch (params.engine) {
+    case PhaseEngine::ExactMilp:
+      return milp_assign(view.net(), params, &view);
+    case PhaseEngine::Heuristic:
+    default:
+      return heuristic_assign(view.net(), params, &view);
   }
 }
 

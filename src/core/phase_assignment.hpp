@@ -15,7 +15,15 @@
 ///
 /// Two engines:
 ///   * `Heuristic` — ASAP seed + coordinate-descent sweeps over σ, evaluating
-///     the exact shared-spine cost for every candidate move;
+///     the exact shared-spine cost for every candidate move. By default the
+///     sweeps are *incremental* (`PhaseAssignmentParams::incremental`): the
+///     first sweep evaluates only nodes whose slack window (conservative
+///     eq.-3-aware ALAP − ASAP) is open, and later sweeps only nodes whose
+///     decision inputs a committed move actually touched — the
+///     ScheduleRefiner machinery (incr/schedule_refiner.hpp) generalized from
+///     a guard-local tool into the flow scheduler. Identical schedules to the
+///     legacy full sweep (pinned by tests and asserted in bench/scaling),
+///     near-linear instead of O(n·sweeps);
 ///   * `ExactMilp` — the ILP of the paper (per-driver max objective,
 ///     assignment binaries for the T1 slot permutation) solved by the
 ///     in-repo branch-and-bound; intended for small/medium networks and used
@@ -42,6 +50,11 @@ struct PhaseAssignmentParams {
   /// (ASAP) depth. Trading latency for fewer balancing DFFs: with slack the
   /// scheduler may slide whole subgraphs later so spines shorten.
   Stage output_slack = 0;
+  /// Incremental (slack-seeded, dirty-worklist) coordinate descent. The
+  /// schedule is identical to the legacy full sweep — only provably
+  /// no-change evaluations are skipped; false keeps the legacy full-sweep
+  /// scheduler reachable for the scaling comparison (bench/scaling.cpp).
+  bool incremental = true;
 };
 
 struct PhaseAssignment {
@@ -85,7 +98,26 @@ NodeId driver_key(const Network& net, NodeId id);
 std::array<int, 3> t1_slot_perm(const Network& net, const std::vector<Stage>& stage,
                                 NodeId t1, Stage n, int64_t* cost_out = nullptr);
 
+/// Minimal feasible stage of \p u given its fanins under \p stage (eq.-3
+/// aware for T1 bodies). Shared by the flow scheduler and the guard-local
+/// ScheduleRefiner so both agree on the per-node move window.
+Stage sched_local_lower_bound(const Network& net, const std::vector<Stage>& stage,
+                              NodeId u);
+
+/// Largest stage input \p u may take so that T1 consumer \p j stays feasible
+/// under eq. 3 with the other fanins fixed. Shared like the lower bound.
+Stage sched_t1_max_input_stage(const Network& net, const std::vector<Stage>& stage,
+                               NodeId j, NodeId u);
+
 PhaseAssignment assign_phases(const Network& net, const PhaseAssignmentParams& params);
+
+class IncrementalView;
+/// View-seeded assignment: seeds the scheduler from the view's maintained
+/// ASAP stages and slack (alap − stage) instead of recomputing them, then
+/// runs the same engine as `assign_phases(view.net(), params)`. The view must
+/// be in sync with its network; it is only read.
+PhaseAssignment assign_phases(const IncrementalView& view,
+                              const PhaseAssignmentParams& params);
 
 /// Validates eq.-3/edge constraints of an assignment (used by tests).
 bool assignment_feasible(const Network& net, const std::vector<Stage>& stage,

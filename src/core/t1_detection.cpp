@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <set>
@@ -217,8 +218,12 @@ int64_t price_candidate(const Network& net, const CostModel& model,
 /// earlier rounds (node ids stay stable across rounds; the network is only
 /// compacted after the last round), so re-discovered candidates are not
 /// double-counted in the Table-I statistic.
+/// \p cycle_cap is the schedule-aware latency budget: the deepest balanced-
+/// sink cycle any commit of this detection run may reach (anchored at the
+/// pre-detection schedule by the caller; only enforced while the
+/// schedule-aware guard is active).
 T1DetectionStats detect_round(Network& net, const CostModel& model,
-                              const T1DetectionParams& params,
+                              const T1DetectionParams& params, Stage cycle_cap,
                               std::set<std::array<NodeId, 3>>& found_keys) {
   T1DetectionStats stats;
   const CellLibrary& lib = model.lib();
@@ -353,6 +358,11 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
     probe.sweep_dangling();
     return static_cast<int64_t>(model.network_breakdown(probe).total());
   };
+  // Cycles already spent (by earlier rounds, or a deep seed) are not
+  // re-charged: the cap only gates *new* boundary crossings of this round.
+  if (incremental_guard) {
+    cycle_cap = std::max(cycle_cap, model.clk().cycles(ctx.output_stage() - 1));
+  }
   int64_t current_est = 0;
   if (guarded) {
     current_est = incremental_guard ? static_cast<int64_t>(ctx.estimate().total())
@@ -372,6 +382,10 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
     std::vector<std::pair<NodeId, NodeId>> ports;
     std::vector<NodeId> killed_closure;
     if (params.incremental_estimate) {
+      // Pre-commit plan total and sink latency: the baselines the rescue's
+      // DFF-lambda and latency clauses charge against (O(1) reads off the
+      // maintained plan).
+      const int64_t planned_before = guarded ? ctx.planned_dffs() : 0;
       // Apply the candidate through the view, guard, roll back on reject.
       const NodeId body = net.add_t1(resolve_leaf(cand.leaves[0]),
                                      resolve_leaf(cand.leaves[1]),
@@ -385,8 +399,19 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
       killed_closure = ctx.kill_cone(cand.cone_union);
       if (guarded) {
         int64_t trial_est = static_cast<int64_t>(ctx.estimate().total());
-        bool accept = trial_est <= current_est;
-        if (!accept && params.schedule_aware_guard) {
+        // Latency envelope (schedule-aware mode only, so the legacy-default
+        // decision stream is untouched when the rescue is off): no commit —
+        // rescued or plain — may push the balanced sink past the cycle the
+        // ASAP-only counterfactual flow ends at (measured by the caller,
+        // plus `guard_latency_budget` extra cycles). The estimate prices
+        // area only; on rescue-reshaped landscapes marginal accepts
+        // otherwise spend whole pipeline cycles for single-digit JJ margins,
+        // which Table I reports as a depth regression.
+        const Stage trial_cycles = model.clk().cycles(ctx.output_stage() - 1);
+        const bool within_budget =
+            !params.schedule_aware_guard || trial_cycles <= cycle_cap;
+        bool accept = within_budget && trial_est <= current_est;
+        if (!accept && within_budget && params.schedule_aware_guard) {
           ScheduleRefinerParams rp;
           rp.sweeps = params.guard_sweeps;
           rp.radius = params.guard_radius;
@@ -398,7 +423,21 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
           const int64_t refined_planned = refiner.refine(seeds);
           const int64_t refined_est =
               trial_est - (ctx.planned_dffs() - refined_planned) * model.dff_jj();
-          accept = refined_est <= current_est;
+          // The lambda term prices the DFF trade the raw refined estimate
+          // cannot see. The refinement is hypothetical — each rescue's
+          // scratch descent assumes the rest of the network realigns around
+          // it, and the final assignment cannot realize every rescue's
+          // private schedule at once — while the *committed* state keeps the
+          // ASAP plan: `trial - before` landing DFFs that stretch the spines
+          // later candidates price against and push the balanced sink later.
+          // Those committed DFFs are charged at a premium, so a rescue must
+          // clear a margin proportional to the chains it actually lands.
+          const int64_t dff_increase =
+              std::max<int64_t>(0, ctx.planned_dffs() - planned_before);
+          const int64_t premium = static_cast<int64_t>(
+              std::llround(params.guard_dff_lambda *
+                           static_cast<double>(model.dff_jj() * dff_increase)));
+          accept = refined_est + premium <= current_est;
         }
         if (!accept) {
           // Physically a loss here; maybe not after more fusion. Roll back.
@@ -477,9 +516,43 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
                                        const T1DetectionParams& params) {
   T1DetectionStats stats;
   std::set<std::array<NodeId, 3>> found_keys;
+  // Schedule-aware mode runs against a measured *counterfactual*: the same
+  // detection with the rescue off, on a probe copy. The counterfactual
+  // serves twice —
+  //   * its final latency is the envelope no schedule-aware commit may
+  //     exceed (a constant budget cannot work: the ASAP-only cascade
+  //     legitimately spends a different number of extra cycles at different
+  //     circuit scales, and the rescue reliably tempts the cascade exactly
+  //     one marginal cycle past whatever that is; `guard_latency_budget`
+  //     grants extra cycles on top),
+  //   * it is the fallback result: if the rescued run ends with a worse
+  //     unified-JJ estimate or a deeper sink than the ASAP-only run — the
+  //     refined per-candidate estimates are optimistic, and on some
+  //     landscapes the extra conversions do not pay off physically — the
+  //     counterfactual is kept. The rescue is therefore an improvement or a
+  //     no-op by construction, never a regression, which is what lets it
+  //     default on.
+  // Cost: detection runs twice in schedule-aware mode (milliseconds at
+  // Table-I scale; the large-network scaling bench pins the rescue off).
+  Stage cycle_cap = std::numeric_limits<Stage>::max() / 4;
+  const bool counterfactual = params.schedule_aware_guard &&
+                              params.incremental_estimate &&
+                              params.require_positive_gain && params.dff_aware;
+  Network fallback_net;
+  T1DetectionStats fallback_stats;
+  if (counterfactual) {
+    fallback_net = net;
+    T1DetectionParams asap_only = params;
+    asap_only.schedule_aware_guard = false;
+    fallback_stats = detect_and_replace_t1(fallback_net, model, asap_only);
+    Stage out0 = 1;
+    asap_stages(fallback_net, &out0);
+    cycle_cap = model.clk().cycles(out0 - 1) +
+                static_cast<Stage>(params.guard_latency_budget);
+  }
   const unsigned rounds = std::max(1u, params.max_rounds);
   for (unsigned round = 0; round < rounds; ++round) {
-    const T1DetectionStats r = detect_round(net, model, params, found_keys);
+    const T1DetectionStats r = detect_round(net, model, params, cycle_cap, found_keys);
     stats.found += r.found;
     stats.used += r.used;
     stats.estimated_gain += r.estimated_gain;
@@ -488,6 +561,18 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
     }
   }
   net = net.cleanup();
+  if (counterfactual) {
+    Stage out_on = 1, out_off = 1;
+    asap_stages(net, &out_on);
+    asap_stages(fallback_net, &out_off);
+    const uint64_t est_on = model.network_breakdown(net).total();
+    const uint64_t est_off = model.network_breakdown(fallback_net).total();
+    if (est_on > est_off || model.clk().cycles(out_on - 1) >
+                                model.clk().cycles(out_off - 1)) {
+      net = std::move(fallback_net);
+      stats = fallback_stats;  // the kept run's statistics, verbatim
+    }
+  }
   return stats;
 }
 

@@ -78,14 +78,44 @@ struct T1DetectionParams {
   /// around the new body and accept if the refined schedule recovers the
   /// loss. ASAP stages cannot align voter-class landings; a few local sweeps
   /// can — the final phase assignment then realizes the refined schedule.
-  /// Only active on the incremental-estimate path. Off by default: it trades
-  /// balancing DFFs for logic fusion — on the shrink-8 suite it converts the
-  /// voter-class majority trees the ASAP guard declines (67 -> 113 T1 cells,
-  /// area 7400 -> 7196 JJ) at the price of more landing DFFs (26 -> 56), so
-  /// it is an area-leaning mode rather than a strict all-metric win.
-  bool schedule_aware_guard = false;
+  /// Only active on the incremental-estimate path. Default on: the full
+  /// acceptance rule (refined estimate + the DFF-lambda premium below + the
+  /// counterfactual latency envelope) plus the keep-the-better-result
+  /// fallback make the rescue an improvement or a no-op by construction —
+  /// on the shrink-8 suite it converts the voter-class majority trees the
+  /// ASAP guard declines (67 -> 92 T1, area 7400 -> 7210 JJ at +5 DFFs,
+  /// depth unchanged) and leaves every other Table-I figure alone (unpriced,
+  /// the raw rescue bought that win with +30 landing DFFs and one extra
+  /// pipeline cycle).
+  bool schedule_aware_guard = true;
   unsigned guard_sweeps = 2;  ///< refiner sweeps per rescued candidate
   unsigned guard_radius = 3;  ///< BFS radius of the refiner's movable set
+  /// DFF-trade term of the rescue's acceptance rule, mirroring the rewrite
+  /// ranking's `jj + dff_marginal * depth` idea: a rescued candidate is
+  /// charged `guard_dff_lambda * dff_jj` for every planned DFF its commit
+  /// adds to the maintained (ASAP) plan. The refined estimate alone is
+  /// optimistic — each rescue's scratch descent assumes the network realigns
+  /// around it, and the final assignment cannot realize every rescue's
+  /// private schedule at once — so the landing chains a rescue actually
+  /// commits must be paid for at a premium: they stretch the spines later
+  /// candidates price against. Calibrated on the shrink-8 suite: 4.0 keeps
+  /// every voter-class fusion win while cutting the raw rescue's DFF bloat
+  /// roughly in half. 0 restores the raw refined-estimate rule.
+  double guard_dff_lambda = 4.0;
+  /// Latency budget of the schedule-aware acceptance rule: with the rescue
+  /// active, no commit (rescued or plain) may push the balanced sink more
+  /// than this many clock cycles past where the *ASAP-only counterfactual*
+  /// flow ends. The counterfactual is measured, not assumed — the same
+  /// detection runs with the rescue off on a probe copy (roughly doubling
+  /// detection time, still milliseconds at Table-I scale), and whichever
+  /// result ends with the better unified-JJ estimate and no deeper sink is
+  /// kept. The estimate prices area only; fusion cascades on rescue-reshaped
+  /// landscapes otherwise spend whole pipeline cycles for single-digit JJ
+  /// margins (measured: the optimized voter pays +1 cycle for 2 JJ), which
+  /// Table-I reports as a depth regression. The default 0 makes the rescue
+  /// latency-neutral by construction: it may fuse freely inside the latency
+  /// the ASAP-only guard would have spent anyway.
+  unsigned guard_latency_budget = 0;
 };
 
 struct T1DetectionStats {

@@ -70,7 +70,8 @@ int64_t CostDelta::rewrite_delta(NodeId root, const std::vector<NodeId>& cone,
 }
 
 int64_t CostDelta::resub_delta(NodeId target, const std::vector<NodeId>& cone,
-                               NodeId donor, bool invert, NodeId existing_inv) const {
+                               NodeId donor, bool invert, NodeId existing_inv,
+                               Stage pin_at) const {
   // The pin whose edges change: the donor, its existing inverter, or (when
   // kNullNode) a new inverter priced below. Its edge arithmetic is exact
   // here, so the generic external-fanin reclaim must skip it.
@@ -98,7 +99,21 @@ int64_t CostDelta::resub_delta(NodeId target, const std::vector<NodeId>& cone,
   const auto splitters = [](int64_t edges) { return std::max<int64_t>(0, edges - 1); };
 
   if (pin != kNullNode) {
-    delta += (spine(pin, absorbed) - spine(pin)) * model().dff_jj();
+    const Stage at = pin_at >= 0 ? pin_at : view_.stage(pin);
+    delta += (spine_at(pin, at, absorbed) - spine(pin)) * model().dff_jj();
+    if (at != view_.stage(pin)) {
+      // Sliding the pin lengthens its own fanin edges: charge the growth of
+      // each fanin's shared spine (with the pin's old edge ignored and the
+      // slid edge added), so the slack discount never claims downstream
+      // savings the upstream spines pay for.
+      const Node& pn = view_.net().node(pin);
+      const std::vector<NodeId> skip{pin};
+      const std::vector<Stage> slid{at};
+      for (uint8_t i = 0; i < pn.num_fanins; ++i) {
+        const NodeId f = pn.fanin(i);
+        delta += (view_.spine(f, &skip, &slid) - view_.spine(f)) * model().dff_jj();
+      }
+    }
     // The pin gains the target's consumer edges and loses its edges into the
     // dying cone.
     const int64_t old_edges = fanout(pin);
@@ -106,14 +121,22 @@ int64_t CostDelta::resub_delta(NodeId target, const std::vector<NodeId>& cone,
         old_edges - edges_into_cone(pin) + static_cast<int64_t>(absorbed.size());
     delta += (splitters(new_edges) - splitters(old_edges)) * model().splitter_jj();
   } else {
-    // A new inverter one level above the donor: cell cost plus its spine.
+    // A new inverter one level above the donor (or at the caller's slack-
+    // justified stage): cell cost plus its spine.
     delta += model().cell_jj(GateType::Not);
-    const Stage s_not = view_.stage(donor) + 1;
+    const Stage s_not = pin_at >= 0 ? pin_at : view_.stage(donor) + 1;
     Stage len = 0;
     for (const Stage sc : absorbed) {
       len = std::max(len, model().clk().dffs_on_edge(s_not, sc));
     }
     delta += len * model().dff_jj();
+    if (s_not > view_.stage(donor) + 1) {
+      // A late-placed inverter stretches the donor's own spine to reach it
+      // (conservative: the donor's dying cone edges are not discounted).
+      const std::vector<Stage> inv_edge{s_not};
+      delta += (view_.spine(donor, nullptr, &inv_edge) - view_.spine(donor)) *
+               model().dff_jj();
+    }
     // The donor trades its edges into the dying cone for the inverter edge;
     // the absorbed consumers land on the inverter.
     const int64_t old_edges = fanout(donor);

@@ -93,8 +93,21 @@ public:
   /// letting \p cone (the target's MFFC) die. When \p invert, the reroute
   /// goes through an inverter: \p existing_inv when not kNullNode, otherwise
   /// a new Not cell is priced in.
+  ///
+  /// \p pin_at (default −1: the pin's current ASAP stage) prices the
+  /// donor-side pin — the donor, its existing inverter, or the new inverter —
+  /// as if the scheduler had slid it to that stage. Slack-aware callers pass
+  /// `min(view.alap(pin), level(target))`: a donor whose slack window reaches
+  /// the target's stage pays what the target's edges paid instead of phantom
+  /// spine DFFs the phase-assignment sweeps would slide away anyway. The
+  /// slide is priced on both sides — downstream edges from \p pin_at, plus
+  /// the growth of the pin's fanin spines reaching the later stage — so a
+  /// discount the upstream would pay right back nets out to zero; callers
+  /// should evaluate both stages and keep the cheaper. \p pin_at must lie
+  /// within the pin's feasible window (ASAP..ALAP; a new inverter is bounded
+  /// below by the donor's stage + 1) or it is not realizable at all.
   int64_t resub_delta(NodeId target, const std::vector<NodeId>& cone, NodeId donor,
-                      bool invert, NodeId existing_inv) const;
+                      bool invert, NodeId existing_inv, Stage pin_at = -1) const;
 
 private:
   IncrementalView& view_;

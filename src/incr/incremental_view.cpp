@@ -12,6 +12,8 @@ namespace {
 
 const std::vector<NodeId> kNoConsumers;
 
+constexpr Stage kInfStage = std::numeric_limits<Stage>::max() / 4;
+
 bool is_const_type(GateType t) {
   return t == GateType::Const0 || t == GateType::Const1;
 }
@@ -66,6 +68,8 @@ void IncrementalView::rebuild() {
   spine_dirty_.clear();
   t1_dirty_.clear();
   alap_valid_ = false;
+  in_alap_dirty_.assign(n, 0);
+  alap_dirty_.clear();
 
   for (const NodeId id : net_.topo_order()) {
     // The delta-maintained views track pins by node identity; Buf (JTL)
@@ -142,6 +146,15 @@ void IncrementalView::seed_stage_dirty(NodeId id) {
   }
 }
 
+void IncrementalView::seed_alap_dirty(NodeId id) const {
+  // Pointless while the cache is invalid (the next query recomputes all of
+  // it), but harmless — and the flags vector is always sized.
+  if (!in_alap_dirty_[id]) {
+    in_alap_dirty_[id] = 1;
+    alap_dirty_.push_back(id);
+  }
+}
+
 void IncrementalView::mark_spine_dirty(NodeId key) {
   if (!track_plan_) return;
   if (!in_spine_dirty_[key]) {
@@ -187,9 +200,15 @@ void IncrementalView::recompute_output_stage() {
     output_stage_ = std::max<Stage>(output_stage_, stage_[po] + 1);
   }
   output_stage_dirty_ = false;
-  if (output_stage_ != before && track_plan_) {
-    for (const NodeId po : net_.pos()) {
-      mark_spine_dirty(po);
+  if (output_stage_ != before) {
+    // The sink bound enters the ALAP of every PO and every dangling node —
+    // too broad a front to seed; fall back to one full reverse relaxation on
+    // the next query (output-stage changes are rare next to pin edits).
+    alap_valid_ = false;
+    if (track_plan_) {
+      for (const NodeId po : net_.pos()) {
+        mark_spine_dirty(po);
+      }
     }
   }
 }
@@ -267,7 +286,6 @@ void IncrementalView::update_t1_dedicated(NodeId t1) {
 }
 
 void IncrementalView::propagate() {
-  alap_valid_ = false;
   // Stage relaxation over the dirty worklist. Processing order is free on a
   // DAG (a node may be visited more than once while its fanins settle); the
   // front only ever spans the affected cone.
@@ -278,6 +296,7 @@ void IncrementalView::propagate() {
     const Stage fresh = compute_stage(u);
     if (fresh == stage_[u]) continue;
     stage_[u] = fresh;
+    seed_alap_dirty(u);  // the ASAP clamp of u's ALAP moved with it
     touch_spine_around(u);
     if (po_refs_[u] > 0) {
       output_stage_dirty_ = true;
@@ -325,6 +344,8 @@ void IncrementalView::sync() {
   in_stage_queue_.resize(n, 0);
   in_spine_dirty_.resize(n, 0);
   in_t1_dirty_.resize(n, 0);
+  in_alap_dirty_.resize(n, 0);
+  alap_.resize(n, 0);
   if (track_plan_) {
     plan_spine_.resize(n, 0);
     t1_dedicated_.resize(n, 0);
@@ -336,11 +357,13 @@ void IncrementalView::sync() {
     // New nodes only reference existing ones, so a single in-order pass
     // settles their stages without touching any existing stage.
     stage_[id] = compute_stage(id);
+    seed_alap_dirty(id);  // fresh node: its ALAP has never been computed
     for (uint8_t i = 0; i < node.num_fanins; ++i) {
       const NodeId f = node.fanin(i);
       consumers_[f].push_back(id);
       ++fanout_[f];
       mark_spine_dirty(f);
+      seed_alap_dirty(f);
     }
     if (track_plan_) {
       account_node(id, +1);
@@ -423,6 +446,8 @@ void IncrementalView::move_edges(NodeId from, NodeId to,
   }
   mark_spine_dirty(from);
   mark_spine_dirty(to);
+  seed_alap_dirty(from);  // both pins' consumer sets (and PO bounds) changed
+  seed_alap_dirty(to);
   for (const auto& [c, k] : counts) {
     (void)k;
     seed_stage_dirty(c);
@@ -465,6 +490,7 @@ void IncrementalView::remove_edges_of(NodeId id) {
     list.erase(it);
     --fanout_[f];
     mark_spine_dirty(f);
+    seed_alap_dirty(f);
     if (track_plan_ && n.type != GateType::T1Port) {
       if (split_fanout_[f]-- > 1) --split_edges_excess_;
     }
@@ -481,6 +507,7 @@ void IncrementalView::add_edges_of(NodeId id) {
     consumers_[f].push_back(id);
     ++fanout_[f];
     mark_spine_dirty(f);
+    seed_alap_dirty(f);
     if (track_plan_ && n.type != GateType::T1Port) {
       if (split_fanout_[f]++ > 0) ++split_edges_excess_;
     }
@@ -565,6 +592,7 @@ void IncrementalView::revive_cone(const std::vector<NodeId>& cone) {
   for (const NodeId id : cone) {
     add_edges_of(id);
     seed_stage_dirty(id);
+    seed_alap_dirty(id);  // stale while dead; recompute from the re-added edges
     if (track_plan_) {
       account_node(id, +1);
       mark_spine_dirty(id);
@@ -650,34 +678,67 @@ JJBreakdown IncrementalView::estimate() const {
   return b;
 }
 
+/// Conservative eq.-3-aware ALAP of one node from its consumers' settled
+/// values: every T1 fanin is bounded by the smallest landing slot (body − 3),
+/// so stamping each node at its ALAP stage is always a feasible assignment.
+/// The scheduler's `sched_alap` (core/phase_assignment.cpp) implements the
+/// same recurrence over SchedContext; keep the two in lockstep — the
+/// incremental scheduler's slack-seeded first sweep relies on either one
+/// never under-reporting a move window (tests pin the paths identical).
+Stage IncrementalView::compute_alap(NodeId id) const {
+  Stage hi = po_refs_[id] > 0 ? output_stage_ - 1 : kInfStage;
+  for (const NodeId c : consumers_[id]) {
+    const Node& cn = net_.node(c);
+    if (cn.type == GateType::T1Port) {
+      hi = std::min(hi, alap_[c]);  // taps alias their body
+    } else if (cn.type == GateType::T1) {
+      hi = std::min(hi, alap_[c] - 3);
+    } else if (is_clocked(cn.type)) {
+      hi = std::min(hi, alap_[c] - 1);
+    }
+  }
+  if (hi >= kInfStage) {
+    hi = output_stage_ - 1;  // dangling: only the sink bounds it
+  }
+  return std::max(hi, stage_[id]);  // never below the ASAP stage
+}
+
+/// Reverse relaxation over the dirty worklist: the mirror image of the
+/// forward stage propagation — a settled node whose value moved re-seeds its
+/// fanins, so the front spans exactly the cone the last edits touched.
+void IncrementalView::drain_alap() const {
+  for (std::size_t head = 0; head < alap_dirty_.size(); ++head) {
+    const NodeId u = alap_dirty_[head];
+    in_alap_dirty_[u] = 0;
+    if (net_.is_dead(u)) continue;
+    const Stage fresh = compute_alap(u);
+    if (fresh == alap_[u]) continue;
+    alap_[u] = fresh;
+    const Node& n = net_.node(u);
+    for (uint8_t i = 0; i < n.num_fanins; ++i) {
+      seed_alap_dirty(n.fanin(i));
+    }
+  }
+  alap_dirty_.clear();
+}
+
 const std::vector<Stage>& IncrementalView::alap_stages() const {
-  if (alap_valid_) {
+  if (!alap_valid_) {
+    // Full reverse relaxation (initial state, legacy rebuilds, output-stage
+    // changes): one reverse-topo pass settles every live node.
+    alap_.assign(net_.size(), 0);
+    auto order = net_.topo_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      alap_[*it] = compute_alap(*it);
+    }
+    for (const NodeId id : alap_dirty_) {
+      in_alap_dirty_[id] = 0;
+    }
+    alap_dirty_.clear();
+    alap_valid_ = true;
     return alap_;
   }
-  // Conservative eq.-3-aware ALAP: every T1 fanin is bounded by the smallest
-  // landing slot (body − 3), so stamping each node at its ALAP stage is
-  // always a feasible assignment. Derived view — recomputed on demand.
-  alap_.assign(net_.size(), 0);
-  auto order = net_.topo_order();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const NodeId id = *it;
-    Stage hi = po_refs_[id] > 0 ? output_stage_ - 1 : std::numeric_limits<Stage>::max() / 4;
-    for (const NodeId c : consumers_[id]) {
-      const Node& cn = net_.node(c);
-      if (cn.type == GateType::T1Port) {
-        hi = std::min(hi, alap_[c]);  // taps alias their body
-      } else if (cn.type == GateType::T1) {
-        hi = std::min(hi, alap_[c] - 3);
-      } else if (is_clocked(cn.type)) {
-        hi = std::min(hi, alap_[c] - 1);
-      }
-    }
-    if (hi >= std::numeric_limits<Stage>::max() / 4) {
-      hi = output_stage_ - 1;  // dangling: only the sink bounds it
-    }
-    alap_[id] = std::max(hi, stage_[id]);  // never below the ASAP stage
-  }
-  alap_valid_ = true;
+  drain_alap();
   return alap_;
 }
 

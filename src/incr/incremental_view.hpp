@@ -34,9 +34,12 @@
 ///   * `consumers(id)`   == `net.fanout_lists()[id]` (as a multiset),
 ///   * `output_stage()`  == max live PO stage + 1,
 ///   * `planned_dffs()`  == `plan_dffs(net, stages, out, clk).total_dffs()`,
-///   * `estimate()`      == `model.network_breakdown(net)` (O(1) query).
-/// ALAP stages are a *derived* view: cached, recomputed O(n) on first query
-/// after an edit (no subscriber needs them per-edit).
+///   * `estimate()`      == `model.network_breakdown(net)` (O(1) query),
+///   * `alap_stages()`   == latest feasible stage per node under the current
+///                          output stage, delta-maintained by *reverse* dirty
+///                          propagation (drained lazily on query), so
+///                          `slack(id) = alap(id) - stage(id)` is cheap inside
+///                          passes.
 ///
 /// `set_full_recompute(true)` keeps the exact same query API but services
 /// every edit with a from-scratch rebuild — the legacy-complexity path, kept
@@ -118,9 +121,19 @@ public:
   // -- Derived views ----------------------------------------------------------
 
   /// ALAP stages under the current output stage: latest feasible stage per
-  /// scheduled node (eq.-3 aware). Cached; recomputed on first query after an
-  /// edit. `alap[id] - stage[id]` is the schedule slack of a node.
+  /// scheduled node (conservatively eq.-3 aware: every T1 fanin is bounded by
+  /// the smallest landing slot, so stamping nodes at ALAP is always feasible).
+  /// Delta-maintained by reverse dirty propagation — the pending worklist is
+  /// drained on query, so the amortized cost of a slack query inside a pass
+  /// is proportional to the cone the last edit touched, not the network.
+  /// Dead nodes hold stale values. Bit-identical to the from-scratch reverse
+  /// relaxation (pinned by tests/incr_test.cpp).
   const std::vector<Stage>& alap_stages() const;
+  /// Latest feasible stage of one node (drains pending ALAP updates).
+  Stage alap(NodeId id) const { return alap_stages()[id]; }
+  /// Schedule slack of \p id: how many stages it can slide later while every
+  /// consumer (and the balanced output sink) stays feasible.
+  Stage slack(NodeId id) const { return alap_stages()[id] - stage_[id]; }
 
   // -- Edits ------------------------------------------------------------------
 
@@ -178,6 +191,9 @@ private:
   void add_edges_of(NodeId id);
   void remove_edges_of(NodeId id);
   void seed_stage_dirty(NodeId id);
+  void seed_alap_dirty(NodeId id) const;
+  void drain_alap() const;
+  Stage compute_alap(NodeId id) const;
   void touch_spine_around(NodeId id);
   void mark_spine_dirty(NodeId key);
   void propagate();
@@ -224,8 +240,14 @@ private:
   std::vector<uint32_t> split_fanout_;  ///< splitter_fanouts() semantics
   int64_t split_edges_excess_ = 0;      ///< sum of max(0, split_fanout-1)
 
+  // ALAP state: `alap_valid_ == false` forces a full reverse relaxation on the
+  // next query (initial state, legacy rebuilds, output-stage changes); between
+  // full recomputes the worklist carries exactly the nodes whose consumer
+  // edges or ASAP clamp changed, drained lazily on query.
   mutable std::vector<Stage> alap_;
   mutable bool alap_valid_ = false;
+  mutable std::vector<NodeId> alap_dirty_;
+  mutable std::vector<char> in_alap_dirty_;
 };
 
 }  // namespace t1sfq

@@ -12,60 +12,6 @@ namespace {
 
 constexpr Stage kInf = std::numeric_limits<Stage>::max() / 4;
 
-bool is_const_type(GateType t) {
-  return t == GateType::Const0 || t == GateType::Const1;
-}
-
-/// Largest stage input u may take so that T1 consumer j stays feasible under
-/// eq. 3 with the other fanins fixed (mirror of the scheduler's bound).
-Stage t1_max_input_stage(const Network& net, const std::vector<Stage>& stage, NodeId j,
-                         NodeId u) {
-  const Node& body = net.node(j);
-  std::vector<Stage> others;
-  for (unsigned i = 0; i < 3; ++i) {
-    const NodeId d = resolve_producer(net, body.fanin(i));
-    if (d != u) {
-      others.push_back(stage[d]);
-    }
-  }
-  const Stage sj = stage[j];
-  const auto feasible = [&](Stage x) {
-    std::vector<Stage> s = others;
-    s.push_back(x);
-    while (s.size() < 3) {
-      s.push_back(x);  // duplicate-driver fanins collapse in `others`
-    }
-    std::sort(s.begin(), s.end());
-    return sj >= std::max({s[0] + 3, s[1] + 2, s[2] + 1});
-  };
-  for (Stage x = sj - 1; x >= sj - 3; --x) {
-    if (feasible(x)) {
-      return x;
-    }
-  }
-  return sj - 3;  // always feasible as the smallest slot candidate
-}
-
-Stage local_lower_bound(const Network& net, const std::vector<Stage>& stage, NodeId u) {
-  const Node& node = net.node(u);
-  if (node.type == GateType::T1) {
-    std::array<Stage, 3> s;
-    for (unsigned i = 0; i < 3; ++i) {
-      s[i] = stage[resolve_producer(net, node.fanin(i))];
-    }
-    std::sort(s.begin(), s.end());
-    return std::max({s[0] + 3, s[1] + 2, s[2] + 1});
-  }
-  Stage lo = 0;
-  for (uint8_t i = 0; i < node.num_fanins; ++i) {
-    const NodeId d = resolve_producer(net, node.fanin(i));
-    if (!is_const_type(net.node(d).type)) {
-      lo = std::max(lo, stage[d] + 1);
-    }
-  }
-  return lo;
-}
-
 }  // namespace
 
 int64_t ScheduleRefiner::refine(const std::vector<NodeId>& seeds) const {
@@ -193,14 +139,14 @@ int64_t ScheduleRefiner::refine(const std::vector<NodeId>& seeds) const {
   for (unsigned sweep = 0; sweep < params_.sweeps; ++sweep) {
     bool changed = false;
     for (const NodeId u : order) {
-      const Stage lo = local_lower_bound(net, scratch, u);
+      const Stage lo = sched_local_lower_bound(net, scratch, u);
       Stage hi = kInf;
       const auto bound_by = [&](NodeId pin) {
         for (const NodeId c : view_.consumers(pin)) {
           const Node& cn = net.node(c);
           if (cn.type == GateType::T1Port) continue;  // tap: bounds come via its consumers
           if (cn.type == GateType::T1) {
-            hi = std::min(hi, t1_max_input_stage(net, scratch, c, u));
+            hi = std::min(hi, sched_t1_max_input_stage(net, scratch, c, u));
           } else if (is_clocked(cn.type)) {
             hi = std::min(hi, scratch[c] - 1);
           }
@@ -248,7 +194,7 @@ int64_t ScheduleRefiner::refine(const std::vector<NodeId>& seeds) const {
       for (const Stage x : candidates) {
         if (x == original) continue;
         set_stage(u, x);
-        if (net.node(u).type == GateType::T1 && x < local_lower_bound(net, scratch, u)) {
+        if (net.node(u).type == GateType::T1 && x < sched_local_lower_bound(net, scratch, u)) {
           continue;  // eq. 3 must keep holding for u itself
         }
         const int64_t c = local_cost();

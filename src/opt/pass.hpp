@@ -54,6 +54,13 @@ struct OptParams {
   /// simulation always runs in full, so a budget-out can only ever keep a
   /// change whose transforms were already individually proven.
   uint64_t verify_conflict_budget = 100000;
+  /// Slack-aware resubstitution donor pricing: the donor-side pin is priced
+  /// at the latest stage its slack window (the view's delta-maintained ALAP)
+  /// lets the phase-assignment sweeps slide it to, capped at the target's
+  /// level. Donors that fit the target's slack window thus avoid phantom DFF
+  /// charges for the rerouted consumers — charges the scheduler would have
+  /// slid away anyway. false prices every donor at its ASAP stage.
+  bool slack_aware_resub = true;
   MultiphaseConfig clk{4};       ///< clocking for the DFF-aware cost model
   CellLibrary lib{};             ///< area model for gain accounting
   AreaConfig area{};             ///< accounting switches (clock share per cell)

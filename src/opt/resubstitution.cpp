@@ -145,8 +145,35 @@ std::size_t ResubstitutionPass::run(Network& net) {
           // substitution, invalidating the gain accounting: skip it.
           if (in_cone(donor) || (have_not && in_cone(not_of[donor]))) continue;
 
-          const int64_t cost_delta = cd.resub_delta(
-              target, dying, donor, invert, have_not ? not_of[donor] : kNullNode);
+          // Slack-aware donor pricing: a pin whose slack window reaches the
+          // target's level pays what the target's edges paid — not the
+          // phantom spine DFFs of its (earlier) ASAP stage, which the
+          // scheduler's sweeps would slide away. The slide is capped at the
+          // pin's ALAP (so it is realizable) and priced on both sides
+          // (upstream fanin spines grow toward a later pin), and both the
+          // ASAP and the slid price are evaluated, keeping the cheaper — a
+          // fresh inverter is bounded only by the donor below (new_lvl <=
+          // target level was enforced above).
+          const NodeId existing = have_not ? not_of[donor] : kNullNode;
+          int64_t cost_delta = cd.resub_delta(target, dying, donor, invert, existing);
+          if (params_.slack_aware_resub) {
+            const Stage target_lvl = static_cast<Stage>(cd.level(target));
+            Stage pin_at, baseline;
+            if (invert && !have_not) {
+              pin_at = target_lvl;
+              baseline = view.stage(donor) + 1;
+            } else {
+              const NodeId pin = have_not ? not_of[donor] : donor;
+              pin_at = std::max<Stage>(view.stage(pin),
+                                       std::min(view.alap(pin), target_lvl));
+              baseline = view.stage(pin);
+            }
+            if (pin_at != baseline) {  // zero slide reprices identically
+              cost_delta = std::min(
+                  cost_delta,
+                  cd.resub_delta(target, dying, donor, invert, existing, pin_at));
+            }
+          }
           if (cost_delta >= 0) continue;
           candidates.push_back({donor, invert, cost_delta});
         }

@@ -53,6 +53,22 @@ void expect_matches_scratch(const IncrementalView& view, const Network& net,
   Stage out = 1;
   const auto stages = asap_stages(net, &out);
   ASSERT_EQ(view.output_stage(), out);
+  // ALAP/slack: the maintained reverse relaxation must be bit-identical to a
+  // from-scratch one (a fresh view's first query is exactly that), and always
+  // a feasible assignment at least as late as ASAP.
+  {
+    Network copy = net;
+    const IncrementalView fresh(copy, model);
+    const auto& scratch_alap = fresh.alap_stages();
+    const auto& alap = view.alap_stages();
+    for (NodeId id = 0; id < net.size(); ++id) {
+      if (net.is_dead(id)) continue;
+      ASSERT_EQ(alap[id], scratch_alap[id]) << "ALAP of node " << id;
+      ASSERT_EQ(view.slack(id), alap[id] - view.stage(id)) << "slack of node " << id;
+      ASSERT_GE(view.slack(id), 0) << "slack of node " << id;
+    }
+    ASSERT_TRUE(assignment_feasible(net, alap, out, model.clk()));
+  }
   if (view.tracks_plan()) {
     const InsertionPlan plan = plan_dffs(net, stages, out, model.clk());
     ASSERT_EQ(view.planned_dffs(), plan.total_dffs());

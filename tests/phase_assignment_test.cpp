@@ -4,6 +4,7 @@
 
 #include "benchmarks/arith.hpp"
 #include "core/t1_detection.hpp"
+#include "incr/incremental_view.hpp"
 
 namespace t1sfq {
 namespace {
@@ -227,6 +228,60 @@ TEST_P(PhaseSweep, MorePhasesNeverIncreaseDffs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Phases, PhaseSweep, ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---------------------------------------------------------------------------
+// Incremental (slack-seeded, dirty-worklist) scheduler vs legacy full sweep
+// ---------------------------------------------------------------------------
+
+/// The incremental scheduler's contract is *identity*, not approximation: it
+/// may only skip evaluations that provably reproduce the node's current
+/// stage, so the full assignment — every stage, the sink, the DFF estimate —
+/// must be bit-identical to the legacy full sweep. Exercised on T1-rich
+/// networks (ripple adders fuse into port-chained T1 cells, the worst case
+/// for the eq.-3 coupling the dirty marking must respect), with and without
+/// output slack, across phase counts.
+TEST(PhaseAssignment, IncrementalSchedulerMatchesLegacyFullSweep) {
+  for (const unsigned bits : {8u, 16u}) {
+    Network net;
+    const Word a = add_pi_word(net, bits, "a");
+    const Word b = add_pi_word(net, bits, "b");
+    add_po_word(net, ripple_carry_adder(net, a, b, net.get_const0()), "s");
+    detect_and_replace_t1(net, CellLibrary{});  // plant chained T1 bodies
+
+    for (const unsigned phases : {4u, 6u}) {
+      for (const Stage slack : {Stage{0}, Stage{3}}) {
+        PhaseAssignmentParams p = params(phases);
+        p.output_slack = slack;
+        p.incremental = false;
+        const auto legacy = assign_phases(net, p);
+        p.incremental = true;
+        const auto incr = assign_phases(net, p);
+        ASSERT_TRUE(legacy.feasible);
+        ASSERT_TRUE(incr.feasible);
+        EXPECT_EQ(incr.stage, legacy.stage)
+            << bits << "b, " << phases << " phases, slack " << slack;
+        EXPECT_EQ(incr.output_stage, legacy.output_stage);
+        EXPECT_EQ(incr.estimated_dffs, legacy.estimated_dffs);
+      }
+    }
+  }
+}
+
+/// The view-seeded overload must agree with the from-scratch entry point.
+TEST(PhaseAssignment, ViewSeededOverloadMatchesFromScratch) {
+  Network net;
+  const Word a = add_pi_word(net, 12, "a");
+  const Word b = add_pi_word(net, 12, "b");
+  add_po_word(net, ripple_carry_adder(net, a, b, net.get_const0()), "s");
+  detect_and_replace_t1(net, CellLibrary{});
+
+  const CostModel model(CellLibrary{}, AreaConfig{}, MultiphaseConfig{4});
+  const IncrementalView view(net, model);
+  const auto from_net = assign_phases(net, params(4));
+  const auto from_view = assign_phases(view, params(4));
+  EXPECT_EQ(from_view.stage, from_net.stage);
+  EXPECT_EQ(from_view.estimated_dffs, from_net.estimated_dffs);
+}
 
 }  // namespace
 }  // namespace t1sfq
