@@ -12,7 +12,9 @@
 /// regenerates its own network and writes its table row to a per-job buffer,
 /// so the output is deterministic and byte-identical to `--jobs 1`.
 ///
-/// Usage: detection_ablation [--jobs N]
+/// Usage: detection_ablation [--jobs N] [--json <path>]
+///   --json <path> writes one record per configuration with quality metrics
+///   and per-stage wall times (src/benchmarks/record.hpp schema).
 
 #include <cstring>
 #include <iomanip>
@@ -21,6 +23,7 @@
 
 #include "benchmarks/arith.hpp"
 #include "benchmarks/epfl.hpp"
+#include "benchmarks/record.hpp"
 #include "benchmarks/runner.hpp"
 #include "core/flow.hpp"
 
@@ -39,11 +42,14 @@ void print_row(std::ostream& os, const std::string& label, std::size_t found,
 
 int main(int argc, char** argv) {
   unsigned jobs = 0;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+      std::cerr << "usage: " << argv[0] << " [--jobs N] [--json <path>]\n";
       return 2;
     }
   }
@@ -82,9 +88,13 @@ int main(int argc, char** argv) {
             << "used" << std::setw(10) << "DFFs" << std::setw(12) << "area(JJ)"
             << std::setw(8) << "depth" << "\n";
 
+  // Pre-sized per configuration: jobs fill their own slot, so the emitted
+  // record order is deterministic regardless of pool scheduling.
+  std::vector<bench::BenchRecord> records(configs.size());
   std::vector<bench::Job> rows;
-  for (const Config& cfg : configs) {
-    rows.push_back([cfg](std::ostream& log) {
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Config& cfg = configs[i];
+    rows.push_back([cfg, i, &records](std::ostream& log) {
       const Network net = bench::epfl_multiplier(12);
       FlowParams p;
       p.clk.phases = 4;
@@ -94,11 +104,27 @@ int main(int argc, char** argv) {
       const auto res = run_flow(net, p);
       print_row(log, cfg.label, cfg.use_t1 ? res.metrics.t1_found : 0,
                 cfg.use_t1 ? res.metrics.t1_used : 0, res.metrics);
+
+      bench::BenchRecord& rec = records[i];
+      rec.circuit = "mult12";
+      rec.config = cfg.label;
+      rec.metrics = {
+          {"t1_found", static_cast<int64_t>(cfg.use_t1 ? res.metrics.t1_found : 0)},
+          {"t1_used", static_cast<int64_t>(cfg.use_t1 ? res.metrics.t1_used : 0)},
+          {"dffs", static_cast<int64_t>(res.metrics.num_dffs)},
+          {"area_jj", static_cast<int64_t>(res.metrics.area_jj)},
+          {"depth_cycles", static_cast<int64_t>(res.metrics.depth_cycles)}};
+      rec.time_ms = {{"detect", res.timings.detect_ms},
+                     {"total", res.timings.total_ms}};
     });
   }
   bench::run_jobs(std::move(rows), std::cout, jobs);
 
   std::cout << "\n(ΔA > 0 and a 16-cut budget recover the best area; tiny cut budgets\n"
                " miss shared-leaf groups, and forcing unprofitable matches wastes JJ.)\n";
+  if (!json_path.empty() &&
+      !bench::write_records(json_path, "detection_ablation", records)) {
+    return 1;
+  }
   return 0;
 }

@@ -19,7 +19,9 @@
 /// fewer gates on the adder/multiplier-class benchmarks.
 ///
 /// Usage: opt_ablation [--phases N] [--shrink K] [--no-verify]
-///                     [--sat-budget C] [--jobs N]
+///                     [--sat-budget C] [--jobs N] [--json <path>]
+///   --json <path> writes one record per (benchmark, variant) with quality
+///   metrics and per-stage wall times (src/benchmarks/record.hpp schema).
 
 #include <atomic>
 #include <cstring>
@@ -29,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "benchmarks/record.hpp"
 #include "benchmarks/runner.hpp"
 #include "benchmarks/suite.hpp"
 #include "core/flow.hpp"
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
   unsigned jobs = 0;
   bool verify = true;
   uint64_t sat_budget = 5000;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
       phases = static_cast<unsigned>(std::stoul(argv[++i]));
@@ -72,10 +76,12 @@ int main(int argc, char** argv) {
       jobs = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--no-verify") == 0) {
       verify = false;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]"
-                   " [--jobs N]\n";
+                   " [--jobs N] [--json <path>]\n";
       return 2;
     }
   }
@@ -83,6 +89,9 @@ int main(int argc, char** argv) {
   const auto suite = shrink > 1 ? bench::make_suite_scaled(shrink) : bench::make_suite();
   std::atomic<bool> all_ok{true};
   std::vector<FlowMetrics> metrics(suite.size() * kNumVariants);
+  // Pre-sized per (benchmark, variant): jobs fill their own slot, so the
+  // emitted record order is deterministic regardless of pool scheduling.
+  std::vector<bench::BenchRecord> records(suite.size() * kNumVariants);
 
   std::cout << std::left << std::setw(12) << "benchmark" << std::setw(6) << "cfg"
             << std::right << std::setw(7) << "G.in" << std::setw(7) << "G.opt"
@@ -105,6 +114,21 @@ int main(int argc, char** argv) {
         p.opt.resubstitution = var.resub;
         const FlowResult res = run_flow(net, p);
         metrics[b * kNumVariants + v] = res.metrics;
+
+        bench::BenchRecord& rec = records[b * kNumVariants + v];
+        rec.circuit = c.name;
+        rec.config = std::string("opt=") + var.name + " shrink=" +
+                     std::to_string(shrink) + " phases=" + std::to_string(phases);
+        rec.metrics = {{"pre_opt_gates", static_cast<int64_t>(res.metrics.pre_opt_gates)},
+                       {"opt_gates", static_cast<int64_t>(res.metrics.opt_gates)},
+                       {"dffs", static_cast<int64_t>(res.metrics.num_dffs)},
+                       {"area_jj", static_cast<int64_t>(res.metrics.area_jj)},
+                       {"depth_cycles", static_cast<int64_t>(res.metrics.depth_cycles)},
+                       {"t1_used", static_cast<int64_t>(res.metrics.t1_used)}};
+        rec.time_ms = {{"opt", res.timings.opt_ms},
+                       {"detect", res.timings.detect_ms},
+                       {"assign", res.timings.assign_ms},
+                       {"total", res.timings.total_ms}};
 
         std::string proof = "-";
         if (verify && var.enable) {
@@ -149,6 +173,9 @@ int main(int argc, char** argv) {
       std::cerr << "[opt_ablation] note: no gate win on " << suite[b].name << " ("
                 << off.opt_gates << " -> " << all.opt_gates << ")\n";
     }
+  }
+  if (!json_path.empty() && !bench::write_records(json_path, "opt_ablation", records)) {
+    return 1;
   }
   return all_ok ? 0 : 1;
 }

@@ -9,12 +9,16 @@
 /// job regenerates its own network and writes its row to a per-job buffer, so
 /// the output is deterministic and byte-identical to `--jobs 1`.
 ///
-/// Usage: phase_sweep [--shrink K] [--full] [--jobs N]
+/// Usage: phase_sweep [--shrink K] [--full] [--jobs N] [--json <path>]
+///   --json <path> writes one record per (circuit, n) with the baseline and
+///   (n >= 4) T1 quality metrics (src/benchmarks/record.hpp schema).
 
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <string>
 
+#include "benchmarks/record.hpp"
 #include "benchmarks/runner.hpp"
 #include "benchmarks/suite.hpp"
 #include "core/flow.hpp"
@@ -24,6 +28,7 @@ using namespace t1sfq;
 int main(int argc, char** argv) {
   unsigned shrink = 4;
   unsigned jobs = 0;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shrink") == 0 && i + 1 < argc) {
       shrink = static_cast<unsigned>(std::stoul(argv[++i]));
@@ -31,18 +36,27 @@ int main(int argc, char** argv) {
       shrink = 1;
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--shrink K] [--full] [--jobs N]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--shrink K] [--full] [--jobs N] [--json <path>]\n";
       return 2;
     }
   }
   const auto suite = shrink > 1 ? bench::make_suite_scaled(shrink) : bench::make_suite();
 
   std::cout << "Phase-count ablation (widths shrunk by " << shrink << ")\n";
+  const std::vector<bench::BenchmarkCase> picks = {suite[0], suite[6],
+                                                   suite[4]};  // adder, multiplier, voter
+  // Pre-sized per (circuit, n): jobs fill their own slot, so the emitted
+  // record order is deterministic regardless of pool scheduling.
+  std::vector<bench::BenchRecord> records(picks.size() * 8);
   std::vector<bench::Job> rows;
-  for (const auto& c : {suite[0], suite[6], suite[4]}) {  // adder, multiplier, voter
+  for (std::size_t ci = 0; ci < picks.size(); ++ci) {
+    const auto& c = picks[ci];
     for (unsigned n = 1; n <= 8; ++n) {
-      rows.push_back([c, n](std::ostream& log) {
+      rows.push_back([c, n, ci, shrink, &records](std::ostream& log) {
         const Network net = c.generate();
         if (n == 1) {
           log << "\n" << c.name << " (" << net.num_gates() << " gates):\n";
@@ -54,17 +68,32 @@ int main(int argc, char** argv) {
         base.clk.phases = n;
         base.use_t1 = false;
         base.opt.enable = false;  // sweep the paper's flows on the raw network
-        const auto b = run_flow(net, base).metrics;
+        const auto br = run_flow(net, base);
+        const auto& b = br.metrics;
         log << std::setw(4) << n << std::setw(12) << b.num_dffs << std::setw(12)
             << b.area_jj << std::setw(12) << b.depth_cycles;
+
+        bench::BenchRecord& rec = records[ci * 8 + (n - 1)];
+        rec.circuit = c.name;
+        rec.config = "n=" + std::to_string(n) + " shrink=" + std::to_string(shrink);
+        rec.metrics = {{"dff_base", static_cast<int64_t>(b.num_dffs)},
+                       {"area_base", static_cast<int64_t>(b.area_jj)},
+                       {"depth_base", static_cast<int64_t>(b.depth_cycles)}};
+        rec.time_ms = {{"base_total", br.timings.total_ms}};
         if (n >= 4) {
           FlowParams t1p;
           t1p.clk.phases = n;
           t1p.use_t1 = true;
           t1p.opt.enable = false;
-          const auto t = run_flow(net, t1p).metrics;
+          const auto tr = run_flow(net, t1p);
+          const auto& t = tr.metrics;
           log << std::setw(12) << t.num_dffs << std::setw(12) << t.area_jj
               << std::setw(12) << t.depth_cycles;
+          rec.metrics.emplace_back("dff_t1", static_cast<int64_t>(t.num_dffs));
+          rec.metrics.emplace_back("area_t1", static_cast<int64_t>(t.area_jj));
+          rec.metrics.emplace_back("depth_t1", static_cast<int64_t>(t.depth_cycles));
+          rec.metrics.emplace_back("t1_used", static_cast<int64_t>(t.t1_used));
+          rec.time_ms.emplace_back("t1_total", tr.timings.total_ms);
         } else {
           log << std::setw(12) << "-" << std::setw(12) << "-" << std::setw(12) << "-";
         }
@@ -73,5 +102,8 @@ int main(int argc, char** argv) {
     }
   }
   bench::run_jobs(std::move(rows), std::cout, jobs);
+  if (!json_path.empty() && !bench::write_records(json_path, "phase_sweep", records)) {
+    return 1;
+  }
   return 0;
 }

@@ -27,14 +27,19 @@
 /// regression cannot hide behind a convert-nothing family.
 ///
 /// Usage: scaling [--points g1,g2,...] [--max-legacy-gates N] [--smoke]
+///                [--json <path>]
 ///   --points            gate counts to sweep (default 1000,5000,10000,20000,50000)
 ///   --max-legacy-gates  skip the legacy path above this size (default 20000;
 ///                       the legacy flow is quadratic — 50k points take minutes)
-///   --smoke             CI mode: only the 10k-gate pair, and exit nonzero
-///                       unless BOTH the end-to-end opt+detection incremental
-///                       speedup AND the phase-assignment speedup are >= 1.5x
-///                       on EVERY circuit (a reintroduced O(n)-per-commit or
-///                       O(n·sweeps) path fails loudly).
+///   --smoke             CI mode: only the 10k-gate pair. The identity and
+///                       convert-something assertions still hard-fail; the
+///                       speedup trajectory is gated by CI against the
+///                       committed BENCH_scaling.json snapshot via
+///                       scripts/check_bench_regression.py (tolerance bands
+///                       instead of hard-coded constants).
+///   --json <path>       write one machine-readable record per circuit
+///                       (metrics, per-stage wall times, speedup ratios, obs
+///                       counters); also enables the obs registry/spans.
 
 #include <chrono>
 #include <cstring>
@@ -46,10 +51,12 @@
 
 #include "benchmarks/arith.hpp"
 #include "benchmarks/random_net.hpp"
+#include "benchmarks/record.hpp"
 #include "core/phase_assignment.hpp"
 #include "core/t1_detection.hpp"
 #include "cost/cost_model.hpp"
 #include "network/network.hpp"
+#include "obs/metrics.hpp"
 #include "opt/pass.hpp"
 
 using namespace t1sfq;
@@ -173,6 +180,7 @@ int main(int argc, char** argv) {
   std::vector<unsigned> points{1000, 5000, 10000, 20000, 50000};
   unsigned max_legacy = 20000;
   bool smoke = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
       points.clear();
@@ -185,9 +193,12 @@ int main(int argc, char** argv) {
       max_legacy = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--points g1,g2,...] [--max-legacy-gates N] [--smoke]\n";
+                << " [--points g1,g2,...] [--max-legacy-gates N] [--smoke]"
+                   " [--json <path>]\n";
       return 2;
     }
   }
@@ -195,6 +206,12 @@ int main(int argc, char** argv) {
     points = {10000};
     max_legacy = 10000;
   }
+  // Records want the obs counters; the default stdout run stays uninstrumented
+  // so the timed race measures exactly what the library ships.
+  if (!json_path.empty()) {
+    obs::set_enabled(true);
+  }
+  std::vector<bench::BenchRecord> records;
 
   std::cout << "Incremental-view scaling (opt 1 round + detection 1 round + phase "
                "assignment, 4 phases)\n";
@@ -205,13 +222,13 @@ int main(int argc, char** argv) {
             << std::setw(9) << "pa-spd" << "\n";
 
   bool ok = true;
-  double smoke_speedup = 1e9;
-  double smoke_pa_speedup = 1e9;
   for (const unsigned n : points) {
     std::vector<Network> cases;
     cases.push_back(random_case(0xbada55 + n, std::max(8u, n / 16), n));
     cases.push_back(adder_network(n));
     for (const Network& net : cases) {
+      // Per-circuit counters: the registry restarts empty for each record.
+      obs::Registry::instance().reset();
       Network final_net;
       const StageTimes inc = run_once(net, /*incremental=*/true, &final_net);
       // The planted-cone generator exists so detection has something to
@@ -230,6 +247,18 @@ int main(int argc, char** argv) {
                   << ": incremental and legacy phase assignment diverge.\n";
         ok = false;
       }
+      bench::BenchRecord rec;
+      rec.circuit = net.name();
+      rec.config = "4phi opt=1round det=1round race=inc-vs-legacy";
+      rec.metrics = {{"gates", static_cast<int64_t>(inc.gates)},
+                     {"depth", static_cast<int64_t>(inc.depth)},
+                     {"t1_used", static_cast<int64_t>(inc.t1_used)},
+                     {"estimate_jj", static_cast<int64_t>(inc.estimate_jj)}};
+      rec.time_ms = {{"opt_inc", inc.opt_ms},
+                     {"det_inc", inc.det_ms},
+                     {"pa_inc", pa.inc_ms},
+                     {"pa_leg", pa.leg_ms}};
+
       std::cout << std::setw(14) << net.name() << std::setw(8) << net.num_gates()
                 << std::setw(11) << std::fixed << std::setprecision(1) << inc.opt_ms;
       if (net.num_gates() <= max_legacy) {
@@ -243,20 +272,22 @@ int main(int argc, char** argv) {
                     << leg.estimate_jj << "JJ)\n";
           ok = false;
         }
-        // The CI gates take the WORST case over the point's circuits, so a
-        // regression confined to one family cannot slip through.
+        // Trajectory gating happens in CI: the comparator checks these ratios
+        // against the committed snapshot with a tolerance band, replacing the
+        // old hard-coded ">= 1.5x" exits.
         const double speedup =
             (leg.total() + pa.leg_ms) / std::max(inc.total() + pa.inc_ms, 0.1);
-        smoke_speedup = std::min(smoke_speedup, speedup);
-        // The PA gate only fires on the random family: its slack-rich DAGs
-        // are the scheduler's real workload. The fused adder's schedule is
-        // already converged at ASAP — both engines finish in ~2 ms there and
-        // the ratio is timer noise, on any machine. (Gating by circuit
-        // identity rather than a wall-clock floor keeps the gate independent
-        // of runner speed.) The schedule-identity assert above still runs on
-        // every circuit.
+        rec.time_ms.push_back({"opt_leg", leg.opt_ms});
+        rec.time_ms.push_back({"det_leg", leg.det_ms});
+        rec.ratios.push_back({"end_to_end_speedup", speedup});
+        // The PA ratio is only meaningful on the random family: its
+        // slack-rich DAGs are the scheduler's real workload. The fused
+        // adder's schedule is already converged at ASAP — both engines
+        // finish in ~2 ms there and the ratio is timer noise, on any
+        // machine. The schedule-identity assert above still runs on every
+        // circuit.
         if (net.name().rfind("rand", 0) == 0) {
-          smoke_pa_speedup = std::min(smoke_pa_speedup, pa.speedup());
+          rec.ratios.push_back({"pa_speedup", pa.speedup()});
         }
         std::cout << std::setw(11) << leg.opt_ms << std::setw(11) << inc.det_ms
                   << std::setw(11) << leg.det_ms << std::setw(10) << pa.inc_ms
@@ -273,6 +304,10 @@ int main(int argc, char** argv) {
                   << std::setw(10) << "(legacy skipped)" << std::setw(8)
                   << std::setprecision(1) << pa.speedup() << "x\n";
       }
+      if (!json_path.empty()) {
+        bench::capture_counters(rec);
+        records.push_back(std::move(rec));
+      }
     }
   }
   if (!ok) {
@@ -280,28 +315,8 @@ int main(int argc, char** argv) {
                  "converted nothing).\n";
     return 1;
   }
-  if (smoke) {
-    if (smoke_pa_speedup > 1e8) {
-      // Not a silent cap: if no random-family circuit ran the race, the
-      // assignment gate measured nothing — re-point it rather than letting
-      // it pass vacuously forever.
-      std::cout << "\nFAIL: no circuit armed the phase-assignment gate "
-                   "(no random-family circuit at the smoke point).\n";
-      return 1;
-    }
-    std::cout << "\nsmoke: worst end-to-end speedup at 10k gates = " << std::setprecision(1)
-              << smoke_speedup << "x, worst phase-assignment speedup = "
-              << smoke_pa_speedup << "x (require >= 1.5x on every circuit)\n";
-    if (smoke_speedup < 1.5) {
-      std::cout << "FAIL: incremental path no longer beats the legacy "
-                   "full-recompute flow — an O(n)-per-commit path crept back in.\n";
-      return 1;
-    }
-    if (smoke_pa_speedup < 1.5) {
-      std::cout << "FAIL: the view-seeded scheduler no longer beats the legacy "
-                   "full sweep — an O(n·sweeps) path crept back in.\n";
-      return 1;
-    }
+  if (!json_path.empty() && !bench::write_records(json_path, "scaling", records)) {
+    return 1;
   }
   return 0;
 }

@@ -14,7 +14,10 @@
 /// sequential (`--jobs 1`); pass `--jobs N` explicitly when the wall-time
 /// distortion from cross-job contention is acceptable.
 ///
-/// Usage: solver_ablation [--jobs N]
+/// Usage: solver_ablation [--jobs N] [--json <path>]
+///   --json <path> writes one record per circuit with the DFF counts of both
+///   engines, their wall times, and the heuristic/MILP DFF gap as a ratio
+///   (src/benchmarks/record.hpp schema).
 
 #include <chrono>
 #include <cstring>
@@ -25,6 +28,7 @@
 #include "benchmarks/arith.hpp"
 #include "benchmarks/epfl.hpp"
 #include "benchmarks/iscas.hpp"
+#include "benchmarks/record.hpp"
 #include "benchmarks/runner.hpp"
 #include "core/flow.hpp"
 
@@ -49,11 +53,14 @@ double run_ms(const Network& net, PhaseEngine engine, bool use_t1, FlowMetrics* 
 
 int main(int argc, char** argv) {
   unsigned jobs = 1;  // timing bench: parallel rows distort the ms columns
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+      std::cerr << "usage: " << argv[0] << " [--jobs N] [--json <path>]\n";
       return 2;
     }
   }
@@ -82,11 +89,14 @@ int main(int argc, char** argv) {
     cases.push_back({"mult" + std::to_string(bits), bench::c6288_like(bits), false});
   }
 
+  // Pre-sized per circuit: jobs fill their own slot, so the emitted record
+  // order is deterministic regardless of pool scheduling.
+  std::vector<bench::BenchRecord> records(cases.size());
   std::vector<bench::Job> rows;
-  for (const Case& c_ref : cases) {
+  for (std::size_t i = 0; i < cases.size(); ++i) {
     // `cases` outlives run_jobs and jobs only read it: no per-job deep copy
     // of the pre-generated networks.
-    rows.push_back([&c = std::as_const(c_ref)](std::ostream& log) {
+    rows.push_back([&c = std::as_const(cases[i]), i, &records](std::ostream& log) {
       FlowMetrics heur, milp;
       const double ms_h = run_ms(c.net, PhaseEngine::Heuristic, c.use_t1, &heur);
       const double ms_m = run_ms(c.net, PhaseEngine::ExactMilp, c.use_t1, &milp);
@@ -99,11 +109,23 @@ int main(int argc, char** argv) {
           << heur.num_dffs << std::setw(12) << std::fixed << std::setprecision(1)
           << ms_h << std::setw(12) << milp.num_dffs << std::setw(12) << ms_m
           << std::setw(8) << std::setprecision(1) << gap << "\n";
+
+      bench::BenchRecord& rec = records[i];
+      rec.circuit = c.name;
+      rec.config = std::string("engines=heur+milp t1=") + (c.use_t1 ? "on" : "off");
+      rec.metrics = {{"dff_heur", static_cast<int64_t>(heur.num_dffs)},
+                     {"dff_milp", static_cast<int64_t>(milp.num_dffs)}};
+      rec.time_ms = {{"heur", ms_h}, {"milp", ms_m}};
+      rec.ratios = {{"gap_pct", gap}};
     });
   }
   bench::run_jobs(std::move(rows), std::cout, jobs);
 
   std::cout << "\n(The MILP is the paper's eq. 3 formulation with assignment binaries for\n"
                " the T1 landing slots; gap% > 0 means the heuristic left DFFs on the table.)\n";
+  if (!json_path.empty() &&
+      !bench::write_records(json_path, "solver_ablation", records)) {
+    return 1;
+  }
   return 0;
 }

@@ -18,7 +18,7 @@
 /// and a pulse-level simulation of the physical netlist (timing + function).
 ///
 /// Usage: table1 [--phases N] [--shrink K] [--no-verify] [--sat-budget C]
-///               [--opt] [--jobs N]
+///               [--opt] [--jobs N] [--json <path>]
 ///   --shrink K scales all benchmark widths down by K for quick runs.
 ///   --sat-budget C caps the SAT proof at C conflicts per output (default
 ///   5000; simulation and pulse-level checks always run in full).
@@ -26,12 +26,17 @@
 ///   The default reproduces the paper (no optimization); see
 ///   bench/opt_ablation.cpp for the per-pass effect of the optimizer.
 ///   --jobs N sizes the thread pool (default: hardware concurrency).
+///   --json <path> writes one record per (benchmark, flow) with quality
+///   metrics and per-stage wall times; gated in CI against BENCH_table1.json
+///   via scripts/check_bench_regression.py. (Per-record obs counters are not
+///   captured here: jobs run concurrently and the registry is process-wide.)
 
 #include <atomic>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "benchmarks/record.hpp"
 #include "benchmarks/runner.hpp"
 #include "benchmarks/suite.hpp"
 #include "core/flow.hpp"
@@ -49,6 +54,7 @@ int main(int argc, char** argv) {
   bool verify = true;
   bool opt = false;
   uint64_t sat_budget = 5000;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
       phases = static_cast<unsigned>(std::stoul(argv[++i]));
@@ -62,16 +68,21 @@ int main(int argc, char** argv) {
       verify = false;
     } else if (std::strcmp(argv[i], "--opt") == 0) {
       opt = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]"
-                   " [--opt] [--jobs N]\n";
+                   " [--opt] [--jobs N] [--json <path>]\n";
       return 2;
     }
   }
 
   const auto suite = shrink > 1 ? bench::make_suite_scaled(shrink) : bench::make_suite();
   std::vector<TableRow> rows(suite.size());
+  // One pre-sized slot per (benchmark, flow): jobs fill their own index, so
+  // the emitted record order is deterministic regardless of pool scheduling.
+  std::vector<bench::BenchRecord> records(suite.size() * 3);
   std::atomic<bool> all_ok{true};
 
   // One job per (benchmark, flow): the T1 job also carries the verification.
@@ -95,6 +106,25 @@ int main(int argc, char** argv) {
                             : flow == 1 ? rows[b].multi_phase
                                         : rows[b].t1;
         slot = res.metrics;
+
+        bench::BenchRecord& rec = records[b * 3 + static_cast<std::size_t>(flow)];
+        const std::string flow_name =
+            flow == 0 ? "1phi" : flow == 1 ? std::to_string(phases) + "phi" : "t1";
+        rec.circuit = c.name;
+        rec.config = flow_name + " shrink=" + std::to_string(shrink) +
+                     (opt ? " opt=on" : " opt=off");
+        rec.metrics = {{"gates", static_cast<int64_t>(res.metrics.num_gates)},
+                       {"dffs", static_cast<int64_t>(res.metrics.num_dffs)},
+                       {"splitters", static_cast<int64_t>(res.metrics.num_splitters)},
+                       {"area_jj", static_cast<int64_t>(res.metrics.area_jj)},
+                       {"depth_cycles", static_cast<int64_t>(res.metrics.depth_cycles)},
+                       {"t1_used", static_cast<int64_t>(res.metrics.t1_used)}};
+        rec.time_ms = {{"cleanup", res.timings.cleanup_ms},
+                       {"opt", res.timings.opt_ms},
+                       {"detect", res.timings.detect_ms},
+                       {"assign", res.timings.assign_ms},
+                       {"insert", res.timings.insert_ms},
+                       {"total", res.timings.total_ms}};
 
         if (flow == 2 && verify) {
           // Random word-parallel simulation (2048 vectors) is the falsifier;
@@ -143,5 +173,8 @@ int main(int argc, char** argv) {
   std::cout << "  adder   T1 area   vs " << phases << "phi: "
             << (static_cast<double>(adder.t1.area_jj) / adder.multi_phase.area_jj - 1) * 100
             << "%\n";
+  if (!json_path.empty() && !bench::write_records(json_path, "table1", records)) {
+    return 1;
+  }
   return all_ok ? 0 : 1;
 }

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Gate a bench --json run against a committed snapshot.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_scaling.json --current out.json
+                            [--quality-tol FRAC] [--ratio-frac FRAC]
+                            [--ratio-floor R]
+
+Both files are `t1sfq-bench-v1` documents (see src/benchmarks/record.hpp).
+Records are joined on (bench, circuit, config_hash) and compared field class
+by field class:
+
+  metrics   deterministic quality numbers (gates, DFFs, area, depth, T1 use).
+            Exact match by default; --quality-tol 0.02 allows each value to
+            drift by 2% relative (use only for fields that are legitimately
+            machine-sensitive — the flow itself is deterministic).
+
+  ratios    relative speeds (e.g. incremental-vs-legacy speedup). Wall times
+            fluctuate with the machine, so these get a tolerance band:
+            current >= max(ratio_floor, ratio_frac * baseline). The floor
+            keeps "incremental must actually win" as an absolute invariant;
+            the fraction tracks the committed trajectory so a 7x speedup
+            cannot silently decay to 1.1x.
+
+  time_ms / counters   informational only, never gated (absolute numbers
+            depend on the machine and the instrumentation build).
+
+A baseline record missing from the current run is a failure (coverage loss);
+extra current records are reported but pass (new circuits/configs are fine —
+refresh the snapshot to start gating them).
+
+Exit code: 0 = within bands, 1 = regression or coverage loss, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "t1sfq-bench-v1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"error: {path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    for field in ("bench", "records"):
+        if field not in doc:
+            sys.exit(f"error: {path}: missing field {field!r}")
+    return doc
+
+
+def index(doc):
+    out = {}
+    for rec in doc["records"]:
+        key = (doc["bench"], rec["circuit"], rec["config_hash"])
+        if key in out:
+            sys.exit(f"error: duplicate record {key}")
+        out[key] = rec
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, help="committed snapshot JSON")
+    ap.add_argument("--current", required=True, help="fresh bench --json output")
+    ap.add_argument(
+        "--quality-tol",
+        type=float,
+        default=0.0,
+        help="relative tolerance on metrics (default 0 = exact)",
+    )
+    ap.add_argument(
+        "--ratio-frac",
+        type=float,
+        default=0.5,
+        help="current ratio must be >= FRAC * baseline ratio (default 0.5)",
+    )
+    ap.add_argument(
+        "--ratio-floor",
+        type=float,
+        default=1.0,
+        help="absolute minimum for every gated ratio (default 1.0)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if base["bench"] != cur["bench"]:
+        sys.exit(f"error: bench mismatch: {base['bench']!r} vs {cur['bench']!r}")
+
+    base_idx = index(base)
+    cur_idx = index(cur)
+
+    failures = []
+    checked_metrics = checked_ratios = 0
+
+    for key, brec in sorted(base_idx.items()):
+        label = f"{key[0]}/{brec['circuit']}[{brec['config']}]"
+        crec = cur_idx.get(key)
+        if crec is None:
+            failures.append(f"{label}: record missing from current run")
+            continue
+
+        for name, bval in brec.get("metrics", {}).items():
+            if name not in crec.get("metrics", {}):
+                failures.append(f"{label}: metric {name!r} missing")
+                continue
+            cval = crec["metrics"][name]
+            checked_metrics += 1
+            tol = abs(bval) * args.quality_tol
+            if abs(cval - bval) > tol:
+                failures.append(
+                    f"{label}: metric {name} = {cval}, snapshot {bval}"
+                    + (f" (tol ±{tol:g})" if tol else " (exact)")
+                )
+
+        for name, bval in brec.get("ratios", {}).items():
+            if name not in crec.get("ratios", {}):
+                failures.append(f"{label}: ratio {name!r} missing")
+                continue
+            cval = crec["ratios"][name]
+            checked_ratios += 1
+            bound = max(args.ratio_floor, args.ratio_frac * bval)
+            if cval < bound:
+                failures.append(
+                    f"{label}: ratio {name} = {cval:.3g} < required {bound:.3g}"
+                    f" (snapshot {bval:.3g}, frac {args.ratio_frac},"
+                    f" floor {args.ratio_floor})"
+                )
+            else:
+                print(
+                    f"ok {label}: {name} = {cval:.3g}"
+                    f" (>= {bound:.3g}; snapshot {bval:.3g})"
+                )
+
+    extra = sorted(set(cur_idx) - set(base_idx))
+    for key in extra:
+        rec = cur_idx[key]
+        print(f"note: ungated new record {key[0]}/{rec['circuit']}[{rec['config']}]")
+
+    print(
+        f"checked {len(base_idx)} records:"
+        f" {checked_metrics} metrics, {checked_ratios} ratios"
+        f" ({len(extra)} new ungated)"
+    )
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("bench regression gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+#include "benchmarks/record.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace t1sfq::bench {
+
+uint64_t config_hash(const std::string& config) {
+  uint64_t h = 14695981039346656037ULL;
+  for (const char c : config) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void capture_counters(BenchRecord& out) {
+  for (const obs::Metric& m : obs::Registry::instance().snapshot()) {
+    switch (m.kind) {
+      case obs::MetricKind::Counter:
+        out.counters.emplace_back(m.name, static_cast<int64_t>(m.count));
+        break;
+      case obs::MetricKind::Gauge:
+        out.counters.emplace_back(m.name, m.value);
+        break;
+      case obs::MetricKind::Histogram:
+        out.counters.emplace_back(m.name + ".count", static_cast<int64_t>(m.count));
+        out.counters.emplace_back(m.name + ".sum_us", static_cast<int64_t>(m.sum_us));
+        break;
+    }
+  }
+}
+
+bool write_records(const std::string& path, const std::string& bench,
+                   const std::vector<BenchRecord>& records) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "record: cannot write %s\n", path.c_str());
+    return false;
+  }
+  json::Writer w(os);
+  w.begin_object();
+  w.kv("schema", "t1sfq-bench-v1");
+  w.kv("bench", bench);
+  w.key("records").begin_array();
+  for (const BenchRecord& r : records) {
+    w.begin_object();
+    w.kv("circuit", r.circuit);
+    w.kv("config", r.config);
+    w.kv("config_hash", config_hash(r.config));
+    w.key("metrics").begin_object();
+    for (const auto& [k, v] : r.metrics) {
+      w.kv(k, v);
+    }
+    w.end_object();
+    w.key("time_ms").begin_object();
+    for (const auto& [k, v] : r.time_ms) {
+      w.kv(k, v);
+    }
+    w.end_object();
+    w.key("ratios").begin_object();
+    for (const auto& [k, v] : r.ratios) {
+      w.kv(k, v);
+    }
+    w.end_object();
+    w.key("counters").begin_object();
+    for (const auto& [k, v] : r.counters) {
+      w.kv(k, v);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  if (!os.good()) {
+    std::fprintf(stderr, "record: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace t1sfq::bench

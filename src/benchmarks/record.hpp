@@ -1,0 +1,57 @@
+#pragma once
+/// \file record.hpp
+/// \brief Machine-readable bench records (`--json <path>` on every bench).
+///
+/// Every bench target emits one BenchRecord per (circuit, configuration) into
+/// a single JSON document:
+///
+///   {
+///     "schema": "t1sfq-bench-v1",
+///     "bench": "<bench name>",
+///     "records": [
+///       {
+///         "circuit": "...",
+///         "config": "...",            // human-readable config summary
+///         "config_hash": 1234,        // FNV-1a of the config string
+///         "metrics":  { ... },        // deterministic quality numbers
+///         "time_ms":  { ... },        // wall times, never regression-gated
+///         "ratios":   { ... },        // speedups, gated with tolerance bands
+///         "counters": { ... }         // obs registry values, informational
+///       }, ...
+///     ]
+///   }
+///
+/// The split drives `scripts/check_bench_regression.py`: `metrics` must match
+/// the committed snapshot (quality is deterministic), `ratios` must stay
+/// within a tolerance band of it, `time_ms`/`counters` are reported but never
+/// gated (absolute times depend on the machine). Committed snapshots live at
+/// the repo root (`BENCH_scaling.json`, `BENCH_table1.json`).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace t1sfq::bench {
+
+struct BenchRecord {
+  std::string circuit;
+  std::string config;  ///< human-readable; hashed into config_hash
+  std::vector<std::pair<std::string, int64_t>> metrics;
+  std::vector<std::pair<std::string, double>> time_ms;
+  std::vector<std::pair<std::string, double>> ratios;
+  std::vector<std::pair<std::string, int64_t>> counters;
+};
+
+/// FNV-1a over the config string: the record identity the comparator joins on
+/// (bench, circuit, config_hash).
+uint64_t config_hash(const std::string& config);
+
+/// Copies the current obs metrics registry into \p out.counters.
+void capture_counters(BenchRecord& out);
+
+/// Writes the document; returns false (with a note on stderr) on I/O failure.
+bool write_records(const std::string& path, const std::string& bench,
+                   const std::vector<BenchRecord>& records);
+
+}  // namespace t1sfq::bench

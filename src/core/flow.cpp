@@ -1,11 +1,23 @@
 #include "core/flow.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "network/equivalence.hpp"
+#include "obs/trace.hpp"
 #include "sfq/pulse_sim.hpp"
 
 namespace t1sfq {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 uint64_t physical_area_jj(const PhysicalNetlist& phys, const CellLibrary& lib,
                           const AreaConfig& cfg) {
@@ -19,30 +31,48 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
         "run_flow: T1 cells need >= 4 clock phases (three distinct landing slots)");
   }
 
+  obs::ScopedEnable obs_scope(params.obs);
+  obs::Span flow_span("flow", "gates_in", static_cast<int64_t>(input.num_gates()));
+  const Clock::time_point t_flow = Clock::now();
+
   FlowResult result;
-  result.mapped = input.cleanup();
+  {
+    obs::Span span("flow.cleanup");
+    const Clock::time_point t0 = Clock::now();
+    result.mapped = input.cleanup();
+    result.timings.cleanup_ms = ms_since(t0);
+  }
   const CostModel model = params.cost();
 
   result.metrics.pre_opt_gates = result.mapped.num_gates();
   result.metrics.pre_opt_depth = result.mapped.depth();
   result.metrics.pre_opt_area_jj = model.network_breakdown(result.mapped).total();
   if (params.opt.enable) {
+    obs::Span span("flow.opt", "gates_in",
+                   static_cast<int64_t>(result.mapped.num_gates()));
+    const Clock::time_point t0 = Clock::now();
     OptParams op = params.opt;
     op.clk = params.clk;
     op.lib = params.lib;
     op.area = params.area;
     result.opt = optimize(result.mapped, op);
     result.metrics.opt_applied = result.opt.total_applied;
+    result.timings.opt_ms = ms_since(t0);
   }
   result.metrics.opt_gates = result.mapped.num_gates();
   result.metrics.opt_depth = result.mapped.depth();
   result.metrics.opt_area_jj = model.network_breakdown(result.mapped).total();
 
   if (params.use_t1) {
+    obs::Span span("flow.detect", "gates_in",
+                   static_cast<int64_t>(result.mapped.num_gates()));
+    const Clock::time_point t0 = Clock::now();
     const T1DetectionStats det =
         detect_and_replace_t1(result.mapped, model, params.detection);
     result.metrics.t1_found = det.found;
     result.metrics.t1_used = det.used;  // detection compacts the network itself
+    result.timings.detect_ms = ms_since(t0);
+    span.arg("t1_used", static_cast<int64_t>(det.used));
   }
   result.metrics.detect_area_jj = model.network_breakdown(result.mapped).total();
 
@@ -57,12 +87,23 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
   // result (pinned by test) and exists for callers that already hold a
   // maintained view — constructing a throwaway one would only add work.
   pp.incremental = params.incremental_assignment;
-  result.assignment = assign_phases(result.mapped, pp);
+  {
+    obs::Span span("flow.assign", "gates_in",
+                   static_cast<int64_t>(result.mapped.num_gates()));
+    const Clock::time_point t0 = Clock::now();
+    result.assignment = assign_phases(result.mapped, pp);
+    result.timings.assign_ms = ms_since(t0);
+  }
   if (!result.assignment.feasible) {
     throw std::runtime_error("run_flow: no feasible phase assignment");
   }
 
-  result.physical = insert_dffs(result.mapped, result.assignment, params.clk);
+  {
+    obs::Span span("flow.insert_dffs");
+    const Clock::time_point t0 = Clock::now();
+    result.physical = insert_dffs(result.mapped, result.assignment, params.clk);
+    result.timings.insert_ms = ms_since(t0);
+  }
 
   result.metrics.num_dffs = result.physical.num_dffs;
   result.metrics.num_splitters = result.physical.num_splitters;
@@ -74,6 +115,8 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
   // Depth in cycles: epoch of the last real firing (the virtual PO sink sits
   // one stage after the deepest balanced element).
   result.metrics.depth_cycles = params.clk.cycles(result.assignment.output_stage - 1);
+  result.timings.total_ms = ms_since(t_flow);
+  obs::count("flow.runs");
   return result;
 }
 

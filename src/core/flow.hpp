@@ -44,6 +44,11 @@ struct FlowParams {
   /// `opt.enable = false` reproduces the unoptimized seed flows; `opt.clk`
   /// and `opt.lib` are overridden with the flow's own values.
   OptParams opt{};
+  /// Record metrics and tracing spans (src/obs/) for the duration of this
+  /// run_flow call. Off by default: the library stays silent and near-free.
+  /// The environment variable `T1SFQ_TRACE` enables recording process-wide
+  /// regardless of this flag.
+  bool obs = false;
 
   /// The unified JJ cost model every stage of this flow prices against.
   CostModel cost() const { return CostModel(lib, area, clk); }
@@ -72,12 +77,25 @@ struct FlowMetrics {
   JJBreakdown breakdown{};        ///< final physical logic/DFF/splitter/clock split
 };
 
+/// Per-stage wall-clock times (steady_clock). Kept OUT of FlowMetrics on
+/// purpose: golden tests and incremental-vs-legacy identity assertions
+/// compare FlowMetrics byte-for-byte, and timing must never participate.
+struct FlowTimings {
+  double cleanup_ms = 0.0;
+  double opt_ms = 0.0;
+  double detect_ms = 0.0;
+  double assign_ms = 0.0;
+  double insert_ms = 0.0;
+  double total_ms = 0.0;
+};
+
 struct FlowResult {
   Network mapped;           ///< logical network after (optional) T1 rewrite
   PhaseAssignment assignment;
   PhysicalNetlist physical;
   FlowMetrics metrics;
   OptSummary opt;           ///< per-pass optimization statistics
+  FlowTimings timings;      ///< wall time per stage (never golden-compared)
 };
 
 /// Runs the flow. Throws std::invalid_argument when `use_t1` is combined with

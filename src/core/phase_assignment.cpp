@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "incr/incremental_view.hpp"
+#include "obs/metrics.hpp"
 #include "solver/milp.hpp"
 
 namespace t1sfq {
@@ -506,15 +507,26 @@ PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams
     }
   }
 
+  // Sweep counters: plain locals, flushed to the obs registry once at the end
+  // (the inner loop is the scheduler's hot path).
+  uint64_t sweeps_run = 0;
+  uint64_t nodes_evaluated = 0;
+  uint64_t nodes_skipped = 0;
+  uint64_t moves_committed = 0;
   for (unsigned sweep = 0; sweep < params.max_sweeps; ++sweep) {
     bool changed = false;
+    ++sweeps_run;
     for (const NodeId u : order) {
       const Node& node = net.node(u);
       if (!is_scheduled(node.type)) continue;
       if (incr) {
-        if (!dirty[u]) continue;
+        if (!dirty[u]) {
+          ++nodes_skipped;
+          continue;
+        }
         dirty[u] = 0;
       }
+      ++nodes_evaluated;
 
       const Stage lo = sched_local_lower_bound(net, pa.stage, u);
       Stage hi = kInf;
@@ -607,6 +619,7 @@ PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams
       pa.stage[u] = best_stage;
       if (best_stage != original) {
         changed = true;
+        ++moves_committed;
         if (incr) {
           mark_affected(u);
         }
@@ -616,6 +629,10 @@ PhaseAssignment heuristic_assign(const Network& net, const PhaseAssignmentParams
       break;
     }
   }
+  obs::count("sched.sweeps", sweeps_run);
+  obs::count("sched.nodes_evaluated", nodes_evaluated);
+  obs::count("sched.nodes_skipped", nodes_skipped);
+  obs::count("sched.moves_committed", moves_committed);
 
   // Ports/bufs mirror their producer (consumers always resolve, but the
   // reported stage should be meaningful).

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
@@ -14,6 +15,7 @@
 #include "incr/schedule_refiner.hpp"
 #include "network/cut_enumeration.hpp"
 #include "network/mffc.hpp"
+#include "obs/trace.hpp"
 
 namespace t1sfq {
 
@@ -224,7 +226,8 @@ int64_t price_candidate(const Network& net, const CostModel& model,
 /// schedule-aware guard is active).
 T1DetectionStats detect_round(Network& net, const CostModel& model,
                               const T1DetectionParams& params, Stage cycle_cap,
-                              std::set<std::array<NodeId, 3>>& found_keys) {
+                              std::set<std::array<NodeId, 3>>& found_keys,
+                              IncrementalView* persistent_ctx) {
   T1DetectionStats stats;
   const CellLibrary& lib = model.lib();
 
@@ -236,9 +239,16 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
   // the commit guard runs incrementally — the delta-maintained DFF plan and
   // JJ estimate. Pricing happens before any commit, so candidate gains see
   // the round-entry landscape exactly as the per-round rebuild used to.
+  // When the caller persists a view across rounds (the incremental path) it
+  // arrives already settled at the round-entry landscape — the per-round
+  // O(n) rebuild disappears and the dirty set carries over instead.
   const bool guarded = params.require_positive_gain && params.dff_aware;
   const bool incremental_guard = guarded && params.incremental_estimate;
-  IncrementalView ctx(net, model, /*track_plan=*/incremental_guard);
+  std::optional<IncrementalView> local_ctx;
+  if (persistent_ctx == nullptr) {
+    local_ctx.emplace(net, model, /*track_plan=*/incremental_guard);
+  }
+  IncrementalView& ctx = persistent_ctx ? *persistent_ctx : *local_ctx;
 
   // -- Group matching cuts by their (sorted) leaf triple. ----------------------
   std::map<std::array<NodeId, 3>, std::vector<Match>> groups;
@@ -368,6 +378,13 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
     current_est = incremental_guard ? static_cast<int64_t>(ctx.estimate().total())
                                     : swept_estimate(net);
   }
+  // Guard decision counters: locals flushed to the obs registry at round end
+  // (the commit loop is hot at scaling-bench sizes).
+  uint64_t guard_accepts = 0;
+  uint64_t guard_declines = 0;
+  uint64_t rescue_attempts = 0;
+  uint64_t rescues = 0;
+  int64_t journal_depth_max = 0;
   for (const Candidate& cand : candidates) {
     if (params.require_positive_gain && cand.gain <= 0) continue;
     bool conflict = false;
@@ -397,6 +414,9 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
         undos.push_back(ctx.replace(m.root, port));
       }
       killed_closure = ctx.kill_cone(cand.cone_union);
+      journal_depth_max =
+          std::max(journal_depth_max,
+                   static_cast<int64_t>(undos.size() + killed_closure.size()));
       if (guarded) {
         int64_t trial_est = static_cast<int64_t>(ctx.estimate().total());
         // Latency envelope (schedule-aware mode only, so the legacy-default
@@ -412,6 +432,7 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
             !params.schedule_aware_guard || trial_cycles <= cycle_cap;
         bool accept = within_budget && trial_est <= current_est;
         if (!accept && within_budget && params.schedule_aware_guard) {
+          ++rescue_attempts;
           ScheduleRefinerParams rp;
           rp.sweeps = params.guard_sweeps;
           rp.radius = params.guard_radius;
@@ -438,8 +459,12 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
               std::llround(params.guard_dff_lambda *
                            static_cast<double>(model.dff_jj() * dff_increase)));
           accept = refined_est + premium <= current_est;
+          if (accept) {
+            ++rescues;
+          }
         }
         if (!accept) {
+          ++guard_declines;
           // Physically a loss here; maybe not after more fusion. Roll back.
           ctx.revive_cone(killed_closure);
           for (std::size_t i = ports.size(); i-- > 0;) {
@@ -460,6 +485,7 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
           continue;
         }
         current_est = trial_est;
+        ++guard_accepts;
       }
     } else {
       // Legacy guard: whole-network probe on a trial copy. (The view is not
@@ -476,9 +502,11 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
       if (guarded) {
         const int64_t trial_est = swept_estimate(trial);
         if (trial_est > current_est) {
+          ++guard_declines;
           continue;
         }
         current_est = trial_est;
+        ++guard_accepts;
       }
       net = std::move(trial);
     }
@@ -506,7 +534,22 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
     stats.estimated_gain += cand.gain;
   }
 
-  net.sweep_dangling();
+  if (obs::enabled()) {
+    obs::count("detect.rounds");
+    obs::count("detect.candidates", candidates.size());
+    obs::count("detect.committed", stats.used);
+    obs::count("detect.guard.accepts", guard_accepts);
+    obs::count("detect.guard.declines", guard_declines);
+    obs::count("detect.guard.rescue_attempts", rescue_attempts);
+    obs::count("detect.guard.rescues", rescues);
+    obs::gauge_max("detect.guard.journal_depth", journal_depth_max);
+  }
+
+  // With a persistent view the caller owns the end-of-round sweep (it must
+  // rebuild the view in the rare case the sweep actually kills something).
+  if (persistent_ctx == nullptr) {
+    net.sweep_dangling();
+  }
   return stats;
 }
 
@@ -551,8 +594,26 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
                 static_cast<Stage>(params.guard_latency_budget);
   }
   const unsigned rounds = std::max(1u, params.max_rounds);
+  // The incremental path persists one view across rounds: commits keep it
+  // delta-maintained, so round k+1 starts from the dirty set round k left
+  // behind instead of an O(n) rebuild. The end-of-round reachability sweep
+  // almost never fires on this path (commits retract their dangling closure
+  // eagerly); when it does kill something the view is rebuilt — behavior
+  // stays identical to the per-round construction, only the cost moves.
+  const bool guarded = params.require_positive_gain && params.dff_aware;
+  const bool incremental_guard = guarded && params.incremental_estimate;
+  std::optional<IncrementalView> persistent;
+  if (params.incremental_estimate) {
+    persistent.emplace(net, model, /*track_plan=*/incremental_guard);
+  }
   for (unsigned round = 0; round < rounds; ++round) {
-    const T1DetectionStats r = detect_round(net, model, params, cycle_cap, found_keys);
+    obs::Span span("detect.round", "round", static_cast<int64_t>(round));
+    const T1DetectionStats r = detect_round(net, model, params, cycle_cap, found_keys,
+                                            persistent ? &*persistent : nullptr);
+    if (persistent && net.sweep_dangling() > 0) {
+      persistent->rebuild();
+    }
+    span.arg("committed", static_cast<int64_t>(r.used));
     stats.found += r.found;
     stats.used += r.used;
     stats.estimated_gain += r.estimated_gain;
@@ -560,6 +621,7 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
       break;  // fixed point: further rounds see the same landscape
     }
   }
+  persistent.reset();
   net = net.cleanup();
   if (counterfactual) {
     Stage out_on = 1, out_off = 1;
@@ -571,6 +633,7 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
                                 model.clk().cycles(out_off - 1)) {
       net = std::move(fallback_net);
       stats = fallback_stats;  // the kept run's statistics, verbatim
+      obs::count("detect.counterfactual_kept");
     }
   }
   return stats;

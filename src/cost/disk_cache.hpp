@@ -29,4 +29,26 @@ std::optional<std::vector<uint8_t>> read_blob(const std::string& path);
 /// Atomically (write temp + rename) stores a blob; false on any failure.
 bool write_blob(const std::string& path, const std::vector<uint8_t>& blob);
 
+/// Aggregate cache statistics since process start. `corruption_fallbacks`
+/// counts blobs that read fine but failed deserialization (version/signature/
+/// checksum mismatch) — the caller reports those via note_corruption_fallback.
+struct DiskCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t corruption_fallbacks = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// Process-wide disk-cache statistics. Counters are maintained by read_blob /
+/// write_blob unconditionally (atomic increments), mirrored into the obs
+/// metrics registry (`cost.disk_cache.*`) when observability is enabled, and
+/// summarized on stderr at process exit when `T1SFQ_TRACE` is set.
+class DiskCache {
+ public:
+  static DiskCacheStats stats();
+  /// Records a blob that deserialized as corrupt (caller rebuilds instead).
+  static void note_corruption_fallback();
+  static void reset_stats();  ///< tests only
+};
+
 }  // namespace t1sfq

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/phase_assignment.hpp"
+#include "obs/metrics.hpp"
 
 namespace t1sfq {
 
@@ -23,6 +24,19 @@ bool is_const_type(GateType t) {
 IncrementalView::IncrementalView(Network& net, const CostModel& model, bool track_plan)
     : net_(net), model_(model), track_plan_(track_plan) {
   rebuild();
+  stats_.full_rebuilds = 0;  // the constructor's build is not a fallback
+}
+
+IncrementalView::~IncrementalView() {
+  if (!obs::enabled()) {
+    return;
+  }
+  obs::count("incr.views");
+  obs::count("incr.edits", stats_.edits);
+  obs::count("incr.stage_relaxations", stats_.stage_relaxations);
+  obs::count("incr.alap_relaxations", stats_.alap_relaxations);
+  obs::count("incr.alap_full_relax", stats_.alap_full_relax);
+  obs::count("incr.full_rebuilds", stats_.full_rebuilds);
 }
 
 const std::vector<NodeId>& IncrementalView::consumers(NodeId id) const {
@@ -56,6 +70,7 @@ Stage IncrementalView::compute_stage(NodeId id) const {
 }
 
 void IncrementalView::rebuild() {
+  ++stats_.full_rebuilds;
   const std::size_t n = net_.size();
   stage_.assign(n, 0);
   fanout_.assign(n, 0);
@@ -305,6 +320,7 @@ void IncrementalView::propagate() {
       seed_stage_dirty(c);
     }
   }
+  stats_.stage_relaxations += stage_queue_.size();  // total drained this call
   stage_queue_.clear();
   if (output_stage_dirty_) {
     recompute_output_stage();
@@ -324,6 +340,7 @@ void IncrementalView::propagate() {
 }
 
 void IncrementalView::finish_commit() {
+  ++stats_.edits;
   if (full_recompute_) {
     rebuild();  // the legacy O(n)-per-commit path bench/scaling measures
     return;
@@ -719,11 +736,13 @@ void IncrementalView::drain_alap() const {
       seed_alap_dirty(n.fanin(i));
     }
   }
+  stats_.alap_relaxations += alap_dirty_.size();
   alap_dirty_.clear();
 }
 
 const std::vector<Stage>& IncrementalView::alap_stages() const {
   if (!alap_valid_) {
+    ++stats_.alap_full_relax;
     // Full reverse relaxation (initial state, legacy rebuilds, output-stage
     // changes): one reverse-topo pass settles every live node.
     alap_.assign(net_.size(), 0);

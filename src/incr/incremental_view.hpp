@@ -53,6 +53,18 @@
 
 namespace t1sfq {
 
+/// Work counters of one IncrementalView (src/obs instrumentation). Plain
+/// accumulators — bumping them costs an increment, so they are maintained
+/// unconditionally and flushed to the metrics registry (prefix `incr.`) only
+/// when the view dies while observability is enabled.
+struct ViewStats {
+  uint64_t edits = 0;              ///< replace/kill/revive/sync edits absorbed
+  uint64_t stage_relaxations = 0;  ///< dirty nodes drained by propagate()
+  uint64_t alap_relaxations = 0;   ///< dirty nodes drained by drain_alap()
+  uint64_t alap_full_relax = 0;    ///< full reverse-topo ALAP recomputes
+  uint64_t full_rebuilds = 0;      ///< rebuild() calls (ctor + legacy commits)
+};
+
 class IncrementalView {
 public:
   /// Builds the view over \p net. When \p track_plan is true the shared-spine
@@ -60,6 +72,13 @@ public:
   /// guard needs them; the opt passes only price locally and can skip the
   /// upkeep).
   IncrementalView(Network& net, const CostModel& model, bool track_plan = false);
+  /// Flushes the work counters to the metrics registry when obs is enabled.
+  ~IncrementalView();
+  IncrementalView(const IncrementalView&) = delete;
+  IncrementalView& operator=(const IncrementalView&) = delete;
+
+  /// Work counters accumulated over this view's lifetime.
+  const ViewStats& view_stats() const { return stats_; }
 
   Network& net() { return net_; }
   const Network& net() const { return net_; }
@@ -248,6 +267,9 @@ private:
   mutable bool alap_valid_ = false;
   mutable std::vector<NodeId> alap_dirty_;
   mutable std::vector<char> in_alap_dirty_;
+
+  // Mutable: the lazily drained ALAP queries are const.
+  mutable ViewStats stats_;
 };
 
 }  // namespace t1sfq

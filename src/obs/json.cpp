@@ -1,0 +1,360 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace t1sfq::json {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void Writer::newline_() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < has_item_.size(); ++i) {
+    os_ << "  ";
+  }
+}
+
+void Writer::before_value_() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_item_.empty()) {
+    if (has_item_.back()) {
+      os_ << ',';
+    }
+    has_item_.back() = true;
+    newline_();
+  }
+}
+
+Writer& Writer::begin_object() {
+  before_value_();
+  os_ << '{';
+  has_item_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  const bool had = has_item_.back();
+  has_item_.pop_back();
+  if (had) {
+    newline_();
+  }
+  os_ << '}';
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value_();
+  os_ << '[';
+  has_item_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  const bool had = has_item_.back();
+  has_item_.pop_back();
+  if (had) {
+    newline_();
+  }
+  os_ << ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  if (has_item_.back()) {
+    os_ << ',';
+  }
+  has_item_.back() = true;
+  newline_();
+  write_escaped(os_, k);
+  os_ << ": ";
+  after_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  before_value_();
+  write_escaped(os_, v);
+  return *this;
+}
+
+Writer& Writer::value(int64_t v) {
+  before_value_();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(uint64_t v) {
+  before_value_();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  before_value_();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os_ << buf;
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  before_value_();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::Object) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : fields) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) {
+      ok = false;
+      return out;
+    }
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) {
+        break;
+      }
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) {
+            ok = false;
+            return out;
+          }
+          unsigned code = 0;
+          const auto res =
+              std::from_chars(text.data() + pos, text.data() + pos + 4, code, 16);
+          if (res.ec != std::errc{}) {
+            ok = false;
+            return out;
+          }
+          pos += 4;
+          // ASCII escapes only (the writer emits nothing higher).
+          out += static_cast<char>(code < 0x80 ? code : '?');
+          break;
+        }
+        default:
+          ok = false;
+          return out;
+      }
+    }
+    ok = false;  // unterminated
+    return out;
+  }
+
+  Value parse_value(unsigned depth) {
+    Value v;
+    if (depth > 128) {
+      ok = false;
+      return v;
+    }
+    skip_ws();
+    if (pos >= text.size()) {
+      ok = false;
+      return v;
+    }
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      v.kind = Value::Kind::Object;
+      skip_ws();
+      if (consume('}')) {
+        return v;
+      }
+      while (ok) {
+        std::string key = parse_string();
+        if (!ok || !consume(':')) {
+          ok = false;
+          return v;
+        }
+        v.fields.emplace_back(std::move(key), parse_value(depth + 1));
+        if (consume(',')) {
+          continue;
+        }
+        if (!consume('}')) {
+          ok = false;
+        }
+        return v;
+      }
+      return v;
+    }
+    if (c == '[') {
+      ++pos;
+      v.kind = Value::Kind::Array;
+      skip_ws();
+      if (consume(']')) {
+        return v;
+      }
+      while (ok) {
+        v.items.push_back(parse_value(depth + 1));
+        if (consume(',')) {
+          continue;
+        }
+        if (!consume(']')) {
+          ok = false;
+        }
+        return v;
+      }
+      return v;
+    }
+    if (c == '"') {
+      v.kind = Value::Kind::String;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't') {
+      v.kind = Value::Kind::Bool;
+      v.boolean = true;
+      literal("true");
+      return v;
+    }
+    if (c == 'f') {
+      v.kind = Value::Kind::Bool;
+      v.boolean = false;
+      literal("false");
+      return v;
+    }
+    if (c == 'n') {
+      literal("null");
+      return v;
+    }
+    // Number.
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '-' ||
+            text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) {
+      ok = false;
+      return v;
+    }
+    v.kind = Value::Kind::Number;
+    const std::string tok(text.substr(start, pos - start));
+    v.number = std::strtod(tok.c_str(), nullptr);
+    // Integral tokens (no '.', no exponent) keep full 64-bit precision in
+    // `integer` — a double only holds 53 bits, not enough for config_hash.
+    if (tok.find_first_of(".eE") == std::string::npos) {
+      v.is_integer = true;
+      v.integer = tok[0] == '-'
+                      ? static_cast<int64_t>(std::strtoll(tok.c_str(), nullptr, 10))
+                      : static_cast<int64_t>(std::strtoull(tok.c_str(), nullptr, 10));
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) {
+  Parser p{text};
+  Value v = p.parse_value(0);
+  p.skip_ws();
+  if (!p.ok || p.pos != text.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace t1sfq::json

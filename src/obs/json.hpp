@@ -1,0 +1,93 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON writer and reader used by the observability layer.
+///
+/// The repository has no external dependencies, so the trace exporter, the
+/// bench-record emitter, and the tests share this small implementation. The
+/// writer streams with deterministic field order (callers control ordering),
+/// the reader parses the subset the repo itself produces (objects, arrays,
+/// strings with escapes, numbers, booleans, null) — enough for schema
+/// round-trip tests and for tools that post-process `--json` records.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace t1sfq::json {
+
+/// Writes \p s with JSON string escaping (quotes included).
+void write_escaped(std::ostream& os, std::string_view s);
+
+/// Streaming writer producing deterministic, human-diffable JSON. Callers
+/// drive structure explicitly; the writer tracks nesting to place commas and
+/// newlines. Indentation is two spaces per level.
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Emits `"key": ` — must be followed by a value (or begin_*).
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(int64_t v);
+  Writer& value(uint64_t v);
+  Writer& value(int v) { return value(static_cast<int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+  Writer& value(double v);
+  Writer& value(bool v);
+
+  template <typename T>
+  Writer& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void before_value_();
+  void newline_();
+
+  std::ostream& os_;
+  // Per nesting level: true once the first element was emitted.
+  std::vector<bool> has_item_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (reader side).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  /// Set for integral number tokens (no '.' or exponent): `integer` holds the
+  /// exact 64-bit value (doubles truncate above 2^53 — e.g. config_hash).
+  bool is_integer = false;
+  int64_t integer = 0;
+  std::string string;
+  std::vector<Value> items;                       // Array
+  std::vector<std::pair<std::string, Value>> fields;  // Object, in file order
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_number() const { return kind == Kind::Number; }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  int64_t as_int() const { return is_integer ? integer : static_cast<int64_t>(number); }
+};
+
+/// Parses a complete JSON document. Returns nullopt on malformed input.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace t1sfq::json

@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include <cstdlib>
+
+namespace t1sfq::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+bool init_from_env() {
+  const char* v = std::getenv("T1SFQ_TRACE");
+  const bool on = v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  if (on) {
+    g_enabled.store(true, std::memory_order_relaxed);
+  }
+  return on;
+}
+
+}  // namespace
+
+bool env_trace_requested() {
+  static const bool requested = init_from_env();
+  return requested;
+}
+
+bool enabled() {
+  // Touch the env exactly once per process, before the first check.
+  (void)env_trace_requested();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+ScopedEnable::ScopedEnable(bool on) {
+  if (on && !enabled()) {
+    set_enabled(true);
+    flipped_ = true;
+  }
+}
+
+ScopedEnable::~ScopedEnable() {
+  if (flipped_) {
+    set_enabled(false);
+  }
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    it->second.count += delta;
+    return;
+  }
+  Metric m;
+  m.name = std::string(name);
+  m.kind = MetricKind::Counter;
+  m.count = delta;
+  metrics_.emplace(m.name, m);
+}
+
+void Registry::set(std::string_view name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    it->second.value = value;
+    return;
+  }
+  Metric m;
+  m.name = std::string(name);
+  m.kind = MetricKind::Gauge;
+  m.value = value;
+  metrics_.emplace(m.name, m);
+}
+
+void Registry::set_max(std::string_view name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (value > it->second.value) {
+      it->second.value = value;
+    }
+    return;
+  }
+  Metric m;
+  m.name = std::string(name);
+  m.kind = MetricKind::Gauge;
+  m.value = value;
+  metrics_.emplace(m.name, m);
+}
+
+void Registry::observe_us(std::string_view name, uint64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    Metric& m = it->second;
+    m.count += 1;
+    m.sum_us += us;
+    if (us > m.max_us) {
+      m.max_us = us;
+    }
+    return;
+  }
+  Metric m;
+  m.name = std::string(name);
+  m.kind = MetricKind::Histogram;
+  m.count = 1;
+  m.sum_us = us;
+  m.max_us = us;
+  metrics_.emplace(m.name, m);
+}
+
+uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  return it != metrics_.end() ? it->second.count : 0;
+}
+
+int64_t Registry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = metrics_.find(name);
+  return it != metrics_.end() ? it->second.value : 0;
+}
+
+std::vector<Metric> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Metric> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, m] : metrics_) {
+    out.push_back(m);  // std::map iterates sorted by name
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.clear();
+}
+
+}  // namespace t1sfq::obs

@@ -1,0 +1,77 @@
+#pragma once
+/// \file trace.hpp
+/// \brief RAII tracing spans nesting into a per-flow trace tree.
+///
+/// A Span measures one scope on a monotonic clock (`steady_clock`). Open
+/// spans form a per-thread stack, so nesting is recorded structurally (each
+/// completed event knows its parent), not inferred from timestamps. Completed
+/// events land in a global collector that exports two ways:
+///
+///  - `write_report_json`: a nested tree (span → children) for programmatic
+///    consumption and the tests;
+///  - `write_chrome_trace`: Chrome `trace_event` format ("ph":"X" complete
+///    events) — load via chrome://tracing or https://ui.perfetto.dev for a
+///    flame view.
+///
+/// Spans are inert when `obs::enabled()` is false: construction is a single
+/// branch, destruction a dead-flag check. A span that was opened while
+/// enabled still completes correctly if recording is disabled mid-flight.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace t1sfq::obs {
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  uint64_t id = 0;         ///< unique per process, assigned at open
+  uint64_t parent_id = 0;  ///< 0 = root (no enclosing span on this thread)
+  uint32_t tid = 0;        ///< small per-thread index (not the OS id)
+  uint64_t start_us = 0;   ///< monotonic, relative to the process trace epoch
+  uint64_t dur_us = 0;
+  /// Optional numeric annotations attached via Span::arg().
+  std::vector<std::pair<std::string, int64_t>> args;
+};
+
+class Span {
+ public:
+  explicit Span(const char* name);
+  Span(const char* name, const char* arg_name, int64_t arg_value);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric annotation (visible in both export formats).
+  void arg(const char* name, int64_t value);
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  uint64_t start_us_ = 0;
+  const char* name_ = nullptr;
+  std::vector<std::pair<std::string, int64_t>> args_;
+};
+
+/// Microseconds since the process trace epoch (first use), steady clock.
+uint64_t now_us();
+
+/// Copies out all completed events (collection keeps growing).
+std::vector<TraceEvent> trace_events();
+/// Drops all completed events.
+void clear_trace();
+
+/// Nested JSON tree: {"schema": "t1sfq-trace-v1", "threads": [{"tid", "spans":
+/// [{"name","start_us","dur_us","args"?,"children":[…]}]}]}.
+void write_report_json(std::ostream& os);
+
+/// Chrome trace_event JSON. Returns false when the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace t1sfq::obs

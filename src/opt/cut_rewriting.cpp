@@ -5,6 +5,7 @@
 #include "cost/cost_delta.hpp"
 #include "network/cut_enumeration.hpp"
 #include "network/mffc.hpp"
+#include "obs/metrics.hpp"
 #include "opt/rewrite_db.hpp"
 
 namespace t1sfq {
@@ -42,6 +43,9 @@ std::size_t CutRewritingPass::run(Network& net) {
   };
 
   std::size_t applied = 0;
+  // Hot loop: counters accumulate locally and flush once at the end.
+  uint64_t candidates_tried = 0;
+  uint64_t abandoned = 0;
   for (const NodeId root : net.topo_order()) {
     if (net.is_dead(root) || replaced_by[root] != kNullNode) continue;
     if (!is_opt_gate(net.node(root).type)) continue;
@@ -104,6 +108,7 @@ std::size_t CutRewritingPass::run(Network& net) {
       }
     }
     if (!best) continue;
+    ++candidates_tried;
 
     const NodeId size_before = static_cast<NodeId>(net.size());
     const NodeId new_root = db.instantiate(best->match, best->leaves, net);
@@ -115,6 +120,7 @@ std::size_t CutRewritingPass::run(Network& net) {
     if (new_root == root || cd.level(new_root) > cd.level(root) ||
         (cd.level(new_root) == cd.level(root) && best->delta >= 0)) {
       view.kill_dangling_from(size_before);
+      ++abandoned;
       continue;
     }
     view.replace(root, new_root);
@@ -123,6 +129,9 @@ std::size_t CutRewritingPass::run(Network& net) {
     ++applied;
   }
 
+  obs::count("opt.rewrite.candidates", candidates_tried);
+  obs::count("opt.rewrite.abandoned", abandoned);
+  obs::count("opt.rewrite.committed", applied);
   net.sweep_dangling();
   return applied;
 }

@@ -4,6 +4,7 @@
 
 #include "core/phase_assignment.hpp"
 #include "network/equivalence.hpp"
+#include "obs/trace.hpp"
 #include "opt/balancing.hpp"
 #include "opt/cut_rewriting.hpp"
 #include "opt/resubstitution.hpp"
@@ -66,22 +67,33 @@ OptSummary PassManager::run(Network& net) {
       if (params_.verify) {
         before = net;  // only the guard needs the pre-pass snapshot
       }
-      ps.applied = pass->run(net);
+      {
+        obs::Span span(pass->name());
+        ps.applied = pass->run(net);
+        span.arg("applied", static_cast<int64_t>(ps.applied));
+      }
       net.sweep_dangling();
       net = net.cleanup();
 
       if (params_.verify && ps.applied > 0) {
+        obs::Span span("opt.verify");
+        obs::count("opt.verify.checks");
         const EquivalenceCheck check =
             check_equivalence(net, before, /*sim_rounds=*/8, params_.verify_conflict_budget);
         if (check.result == EquivalenceResult::NotEquivalent) {
           net = before.cleanup();
           ps.applied = 0;
           ps.verdict = PassVerdict::Reverted;
+          obs::count("opt.pass.reverted");
         } else if (check.result == EquivalenceResult::Equivalent) {
           ps.verdict = PassVerdict::Proved;
         } else {
           ps.verdict = PassVerdict::Unknown;
         }
+      }
+      if (obs::enabled()) {
+        obs::count(std::string("opt.") + pass->name() + ".applied", ps.applied);
+        obs::count("opt.pass.runs");
       }
 
       ps.gates_after = net.num_gates();

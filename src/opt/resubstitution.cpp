@@ -9,6 +9,7 @@
 #include "network/equivalence.hpp"
 #include "network/mffc.hpp"
 #include "network/simulation.hpp"
+#include "obs/metrics.hpp"
 #include "solver/sat.hpp"
 
 namespace t1sfq {
@@ -84,7 +85,9 @@ std::size_t ResubstitutionPass::run(Network& net) {
   SatSolver solver;
   std::vector<Lit> pi_lits;
   const std::vector<Lit> lits = encode_network(net, solver, pi_lits);
+  uint64_t sat_calls = 0;  // flushed with the other counters at the end
   const auto prove_equal = [&](NodeId a, NodeId b, bool invert) {
+    ++sat_calls;
     const Lit la = lits[a];
     const Lit lb = invert ? negate(lits[b]) : lits[b];
     const Lit diff = pos_lit(solver.new_var());
@@ -98,6 +101,7 @@ std::size_t ResubstitutionPass::run(Network& net) {
   std::vector<char> alive(n0, 1);
   std::unordered_map<uint64_t, std::vector<NodeId>> index;
   std::size_t applied = 0;
+  uint64_t candidates_total = 0;
 
   for (NodeId target = 0; target < n0; ++target) {
     const Node& tn = net.node(target);
@@ -179,6 +183,7 @@ std::size_t ResubstitutionPass::run(Network& net) {
         }
       }
 
+      candidates_total += candidates.size();
       std::sort(candidates.begin(), candidates.end(),
                 [](const Candidate& a, const Candidate& b) {
                   return a.cost_delta < b.cost_delta;
@@ -218,6 +223,10 @@ std::size_t ResubstitutionPass::run(Network& net) {
     }
   }
 
+  obs::count("opt.resub.candidates", candidates_total);
+  obs::count("opt.resub.sat_calls", sat_calls);
+  obs::count("opt.resub.sat_conflicts", solver.stats().conflicts);
+  obs::count("opt.resub.committed", applied);
   net.sweep_dangling();
   return applied;
 }

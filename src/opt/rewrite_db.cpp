@@ -531,6 +531,9 @@ const RewriteDb& RewriteDb::instance(const Params& params) {
       if (const auto blob = read_blob(path)) {
         if (auto db = deserialize(*blob, params)) {
           slot.reset(new RewriteDb(std::move(*db)));
+        } else {
+          // Read fine but failed the version/signature/checksum gate.
+          DiskCache::note_corruption_fallback();
         }
       }
     }
