@@ -11,10 +11,19 @@
 namespace t1sfq {
 namespace bench {
 
+namespace {
+thread_local bool t_in_job_pool = false;
+}  // namespace
+
+bool in_job_pool() { return t_in_job_pool; }
+
 void run_jobs(std::vector<Job> jobs, std::ostream& log, unsigned threads) {
   const std::size_t n = jobs.size();
   if (n == 0) {
     return;
+  }
+  if (t_in_job_pool) {
+    threads = 1;  // nested call from a pool worker: never stack pools
   }
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -37,6 +46,7 @@ void run_jobs(std::vector<Job> jobs, std::ostream& log, unsigned threads) {
   std::condition_variable cv;
 
   const auto worker = [&] {
+    t_in_job_pool = true;  // workers are fresh threads; cleared with the thread
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= n) {

@@ -25,7 +25,19 @@ using Job = std::function<void(std::ostream& log)>;
 /// Runs \p jobs on \p threads worker threads (0 = hardware concurrency,
 /// capped at the job count; 1 = sequential in the calling thread) and
 /// streams each job's log to \p log in job-index order.
+///
+/// Reentrancy: a `run_jobs` call made *from inside a pool worker* (a job of
+/// an outer run_jobs spawning its own parallel work — e.g. the
+/// partition-parallel optimizer inside a `bench --jobs N` suite) degrades to
+/// the sequential path instead of spawning a nested pool, so the total
+/// worker count stays bounded by the outermost call and results remain
+/// byte-identical. Top-level sequential calls (threads = 1) do not mark the
+/// calling thread, so inner parallelism under `--jobs 1` is preserved.
 void run_jobs(std::vector<Job> jobs, std::ostream& log, unsigned threads = 0);
+
+/// True while the calling thread is a run_jobs pool worker (nested-pool
+/// detection; see run_jobs).
+bool in_job_pool();
 
 }  // namespace bench
 }  // namespace t1sfq

@@ -1,8 +1,10 @@
 #include "core/flow.hpp"
 
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
+#include "incr/incremental_view.hpp"
 #include "network/equivalence.hpp"
 #include "obs/trace.hpp"
 #include "sfq/pulse_sim.hpp"
@@ -63,12 +65,25 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
   result.metrics.opt_depth = result.mapped.depth();
   result.metrics.opt_area_jj = model.network_breakdown(result.mapped).total();
 
+  // One analysis view shared across the detection/assignment boundary:
+  // detection maintains it through every commit and rebinds it through its
+  // final compaction (instead of letting it die there), so the scheduler
+  // starts from maintained stages/slack rather than a fresh O(n) build.
+  std::optional<IncrementalView> shared_view;
+  const bool share_view = params.use_t1 && params.detection.incremental_estimate &&
+                          params.incremental_assignment;
   if (params.use_t1) {
     obs::Span span("flow.detect", "gates_in",
                    static_cast<int64_t>(result.mapped.num_gates()));
     const Clock::time_point t0 = Clock::now();
-    const T1DetectionStats det =
-        detect_and_replace_t1(result.mapped, model, params.detection);
+    T1DetectionStats det;
+    if (share_view) {
+      shared_view.emplace(result.mapped, model, /*track_plan=*/true);
+      det = detect_and_replace_t1(result.mapped, model, params.detection,
+                                  &*shared_view);
+    } else {
+      det = detect_and_replace_t1(result.mapped, model, params.detection);
+    }
     result.metrics.t1_found = det.found;
     result.metrics.t1_used = det.used;  // detection compacts the network itself
     result.timings.detect_ms = ms_since(t0);
@@ -82,18 +97,19 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
   pp.max_sweeps = params.max_sweeps;
   pp.milp_max_nodes = params.milp_max_nodes;
   pp.output_slack = params.output_slack;
-  // The incremental scheduler computes its own ASAP/slack seed here; the
-  // view-seeded overload `assign_phases(view, pp)` produces the identical
-  // result (pinned by test) and exists for callers that already hold a
-  // maintained view — constructing a throwaway one would only add work.
+  // With a shared view the scheduler is seeded from the maintained state the
+  // detection stage hands over; otherwise it computes its own ASAP/slack seed
+  // (the view-seeded overload produces the identical result, pinned by test).
   pp.incremental = params.incremental_assignment;
   {
     obs::Span span("flow.assign", "gates_in",
                    static_cast<int64_t>(result.mapped.num_gates()));
     const Clock::time_point t0 = Clock::now();
-    result.assignment = assign_phases(result.mapped, pp);
+    result.assignment = shared_view ? assign_phases(*shared_view, pp)
+                                    : assign_phases(result.mapped, pp);
     result.timings.assign_ms = ms_since(t0);
   }
+  shared_view.reset();  // flush the view's obs counters before DFF insertion
   if (!result.assignment.feasible) {
     throw std::runtime_error("run_flow: no feasible phase assignment");
   }

@@ -557,6 +557,12 @@ T1DetectionStats detect_round(Network& net, const CostModel& model,
 
 T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
                                        const T1DetectionParams& params) {
+  return detect_and_replace_t1(net, model, params, /*reuse_view=*/nullptr);
+}
+
+T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
+                                       const T1DetectionParams& params,
+                                       IncrementalView* reuse_view) {
   T1DetectionStats stats;
   std::set<std::array<NodeId, 3>> found_keys;
   // Schedule-aware mode runs against a measured *counterfactual*: the same
@@ -578,9 +584,36 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
   // Cost: detection runs twice in schedule-aware mode (milliseconds at
   // Table-I scale; the large-network scaling bench pins the rescue off).
   Stage cycle_cap = std::numeric_limits<Stage>::max() / 4;
-  const bool counterfactual = params.schedule_aware_guard &&
-                              params.incremental_estimate &&
-                              params.require_positive_gain && params.dff_aware;
+  const bool guard_mode = params.schedule_aware_guard &&
+                          params.incremental_estimate &&
+                          params.require_positive_gain && params.dff_aware;
+  // The probe run is quadratic-ish in practice (a full second detection);
+  // past `guard_probe_max_gates` the envelope is anchored at the maintained
+  // incremental depth bound instead (see the param's doc).
+  const bool counterfactual =
+      guard_mode && net.num_gates() <= params.guard_probe_max_gates;
+  // The incremental path persists one view across rounds: commits keep it
+  // delta-maintained, so round k+1 starts from the dirty set round k left
+  // behind instead of an O(n) rebuild. The end-of-round reachability sweep
+  // almost never fires on this path (commits retract their dangling closure
+  // eagerly); when it does kill something the view is rebuilt — behavior
+  // stays identical to the per-round construction, only the cost moves.
+  // A caller-supplied view is adopted in place of a private one when its
+  // tracking mode fits, and handed back alive (rebound through the final
+  // cleanup).
+  const bool guarded = params.require_positive_gain && params.dff_aware;
+  const bool incremental_guard = guarded && params.incremental_estimate;
+  std::optional<IncrementalView> own;
+  IncrementalView* persistent = nullptr;
+  if (params.incremental_estimate) {
+    if (reuse_view != nullptr && (!incremental_guard || reuse_view->tracks_plan())) {
+      persistent = reuse_view;
+      persistent->sync();  // absorb anything the caller appended since building
+    } else {
+      own.emplace(net, model, /*track_plan=*/incremental_guard);
+      persistent = &*own;
+    }
+  }
   Network fallback_net;
   T1DetectionStats fallback_stats;
   if (counterfactual) {
@@ -592,25 +625,20 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
     asap_stages(fallback_net, &out0);
     cycle_cap = model.clk().cycles(out0 - 1) +
                 static_cast<Stage>(params.guard_latency_budget);
+  } else if (guard_mode) {
+    // guard_probe_max_gates exceeded: latency envelope from the maintained
+    // depth bound, no probe run, no fallback comparison. Strictly tighter cap
+    // (anchored at the input latency, which detect_round ratchets per round).
+    cycle_cap = model.clk().cycles(persistent->output_stage() - 1) +
+                static_cast<Stage>(params.guard_latency_budget);
+    obs::count("detect.guard.probe_skipped");
   }
   const unsigned rounds = std::max(1u, params.max_rounds);
-  // The incremental path persists one view across rounds: commits keep it
-  // delta-maintained, so round k+1 starts from the dirty set round k left
-  // behind instead of an O(n) rebuild. The end-of-round reachability sweep
-  // almost never fires on this path (commits retract their dangling closure
-  // eagerly); when it does kill something the view is rebuilt — behavior
-  // stays identical to the per-round construction, only the cost moves.
-  const bool guarded = params.require_positive_gain && params.dff_aware;
-  const bool incremental_guard = guarded && params.incremental_estimate;
-  std::optional<IncrementalView> persistent;
-  if (params.incremental_estimate) {
-    persistent.emplace(net, model, /*track_plan=*/incremental_guard);
-  }
   for (unsigned round = 0; round < rounds; ++round) {
     obs::Span span("detect.round", "round", static_cast<int64_t>(round));
-    const T1DetectionStats r = detect_round(net, model, params, cycle_cap, found_keys,
-                                            persistent ? &*persistent : nullptr);
-    if (persistent && net.sweep_dangling() > 0) {
+    const T1DetectionStats r =
+        detect_round(net, model, params, cycle_cap, found_keys, persistent);
+    if (persistent != nullptr && net.sweep_dangling() > 0) {
       persistent->rebuild();
     }
     span.arg("committed", static_cast<int64_t>(r.used));
@@ -621,8 +649,15 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
       break;  // fixed point: further rounds see the same landscape
     }
   }
-  persistent.reset();
-  net = net.cleanup();
+  const bool adopted = reuse_view != nullptr && persistent == reuse_view;
+  if (adopted) {
+    std::vector<NodeId> old_to_new;
+    net = net.cleanup(&old_to_new);
+    reuse_view->rebind_after_cleanup(old_to_new);
+  } else {
+    own.reset();
+    net = net.cleanup();
+  }
   if (counterfactual) {
     Stage out_on = 1, out_off = 1;
     asap_stages(net, &out_on);
@@ -633,8 +668,14 @@ T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
                                 model.clk().cycles(out_off - 1)) {
       net = std::move(fallback_net);
       stats = fallback_stats;  // the kept run's statistics, verbatim
+      if (adopted) {
+        reuse_view->rebuild();  // the swap invalidated the rebound state
+      }
       obs::count("detect.counterfactual_kept");
     }
+  }
+  if (reuse_view != nullptr && !adopted) {
+    reuse_view->rebuild();  // detection could not adopt it; hand it back valid
   }
   return stats;
 }

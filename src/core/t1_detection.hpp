@@ -40,6 +40,8 @@
 
 namespace t1sfq {
 
+class IncrementalView;
+
 /// How the phase-alignment DFF delta enters the detection gain.
 enum class T1DffPricing {
   Off,      ///< raw eq. 2 terms only (no DFF arithmetic)
@@ -116,6 +118,18 @@ struct T1DetectionParams {
   /// latency-neutral by construction: it may fuse freely inside the latency
   /// the ASAP-only guard would have spent anyway.
   unsigned guard_latency_budget = 0;
+  /// Probe-cost bound of the schedule-aware guard: the measured ASAP-only
+  /// counterfactual run (which roughly doubles detection time) only executes
+  /// when the network has at most this many gates. Above the bound the
+  /// latency envelope is instead anchored at the *maintained* incremental
+  /// depth bound — the persistent view's output stage at round entry, the
+  /// same anchor `detect_round` ratchets the cap to anyway — with
+  /// `guard_latency_budget` cycles on top, and the keep-the-better-result
+  /// fallback is skipped. Strictly more conservative than the probe (commits
+  /// may not deepen the sink past the *input* latency instead of past the
+  /// ASAP-only *result* latency), so the no-depth-regression guarantee is
+  /// preserved at a fraction of the cost on large netlists.
+  std::size_t guard_probe_max_gates = 20000;
 };
 
 struct T1DetectionStats {
@@ -131,6 +145,21 @@ struct T1DetectionStats {
 /// count that will actually be scheduled.
 T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
                                        const T1DetectionParams& params = {});
+
+/// As above, but detection maintains the caller's \p reuse_view (over \p net)
+/// instead of building a private one, and *keeps it alive* across the final
+/// compaction by translating it through the cleanup remap
+/// (`IncrementalView::rebind_after_cleanup`) — so the assignment stage can
+/// inherit the detection-built view, dirty set and all, instead of paying a
+/// fresh O(n) build. Identical decisions and network results. The view
+/// should be plan-tracking when the guarded path is active
+/// (`require_positive_gain && dff_aware && incremental_estimate`); a view
+/// detection cannot adopt (wrong tracking mode, or `incremental_estimate`
+/// off) is rebuilt from the final network before returning, so the caller's
+/// view is valid either way.
+T1DetectionStats detect_and_replace_t1(Network& net, const CostModel& model,
+                                       const T1DetectionParams& params,
+                                       IncrementalView* reuse_view);
 
 /// Convenience overload for library-only callers (tests, examples): prices
 /// with default accounting and 4-phase clocking. Do not use from a flow with

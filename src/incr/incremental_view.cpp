@@ -37,6 +37,7 @@ IncrementalView::~IncrementalView() {
   obs::count("incr.alap_relaxations", stats_.alap_relaxations);
   obs::count("incr.alap_full_relax", stats_.alap_full_relax);
   obs::count("incr.full_rebuilds", stats_.full_rebuilds);
+  obs::count("incr.view_rebinds", stats_.rebinds);
 }
 
 const std::vector<NodeId>& IncrementalView::consumers(NodeId id) const {
@@ -140,6 +141,83 @@ void IncrementalView::rebuild() {
       update_t1_dedicated(id);
     }
   }
+}
+
+void IncrementalView::rebind_after_cleanup(const std::vector<NodeId>& old_to_new) {
+  ++stats_.rebinds;
+  const std::size_t n = net_.size();
+  const std::size_t old_n = old_to_new.size();
+
+  // Dense per-node arrays: value at old id moves to its new id. Dead nodes
+  // (mapped to kNullNode) are dropped; the compacted network has no slot for
+  // them and, with the view settled, they hold no edges either.
+  const auto remap_stage = [&](std::vector<Stage>& v) {
+    std::vector<Stage> fresh(n, 0);
+    for (NodeId o = 0; o < old_n && o < v.size(); ++o) {
+      if (old_to_new[o] != kNullNode) fresh[old_to_new[o]] = v[o];
+    }
+    v = std::move(fresh);
+  };
+  const auto remap_u32 = [&](std::vector<uint32_t>& v) {
+    std::vector<uint32_t> fresh(n, 0);
+    for (NodeId o = 0; o < old_n && o < v.size(); ++o) {
+      if (old_to_new[o] != kNullNode) fresh[old_to_new[o]] = v[o];
+    }
+    v = std::move(fresh);
+  };
+  // Pending worklists: translate the surviving entries, drop the dead ones.
+  const auto remap_list = [&](std::vector<NodeId>& list, std::vector<char>& flags) {
+    std::vector<NodeId> fresh;
+    fresh.reserve(list.size());
+    for (const NodeId o : list) {
+      if (o < old_n && old_to_new[o] != kNullNode) {
+        fresh.push_back(old_to_new[o]);
+      }
+    }
+    flags.assign(n, 0);
+    for (const NodeId id : fresh) flags[id] = 1;
+    list = std::move(fresh);
+  };
+
+  remap_stage(stage_);
+  remap_u32(fanout_);
+  remap_u32(po_refs_);
+  {
+    std::vector<std::vector<NodeId>> fresh(n);
+    for (NodeId o = 0; o < old_n && o < consumers_.size(); ++o) {
+      const NodeId m = old_to_new[o];
+      if (m == kNullNode) continue;
+      fresh[m] = std::move(consumers_[o]);
+      for (NodeId& c : fresh[m]) {
+        assert(c < old_n && old_to_new[c] != kNullNode &&
+               "rebind: consumer entry died without edge retraction");
+        c = old_to_new[c];
+      }
+    }
+    consumers_ = std::move(fresh);
+  }
+  remap_list(stage_queue_, in_stage_queue_);
+  remap_list(spine_dirty_, in_spine_dirty_);
+  remap_list(t1_dirty_, in_t1_dirty_);
+  remap_list(alap_dirty_, in_alap_dirty_);
+  {
+    std::vector<Stage> fresh(n, 0);
+    for (NodeId o = 0; o < old_n && o < alap_.size(); ++o) {
+      if (old_to_new[o] != kNullNode) fresh[old_to_new[o]] = alap_[o];
+    }
+    alap_ = std::move(fresh);
+  }
+  if (track_plan_) {
+    remap_stage(plan_spine_);
+    remap_u32(split_fanout_);
+    std::vector<int64_t> fresh(n, 0);
+    for (NodeId o = 0; o < old_n && o < t1_dedicated_.size(); ++o) {
+      if (old_to_new[o] != kNullNode) fresh[old_to_new[o]] = t1_dedicated_[o];
+    }
+    t1_dedicated_ = std::move(fresh);
+  }
+  // Scalars (output_stage_, totals, estimate accumulators, alap_valid_) are
+  // id-independent: the compaction changed no live structure.
 }
 
 void IncrementalView::account_node(NodeId id, int sign) {

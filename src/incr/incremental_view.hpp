@@ -63,6 +63,7 @@ struct ViewStats {
   uint64_t alap_relaxations = 0;   ///< dirty nodes drained by drain_alap()
   uint64_t alap_full_relax = 0;    ///< full reverse-topo ALAP recomputes
   uint64_t full_rebuilds = 0;      ///< rebuild() calls (ctor + legacy commits)
+  uint64_t rebinds = 0;            ///< rebind_after_cleanup() translations
 };
 
 class IncrementalView {
@@ -203,6 +204,15 @@ public:
   /// Full rebuild of every view from the network (the legacy path; also the
   /// reference the property test compares incremental maintenance against).
   void rebuild();
+
+  /// Survives a `net = net.cleanup(&old_to_new)` compaction: translates every
+  /// per-node array, consumer list, and pending worklist through the id remap
+  /// instead of rebuilding from scratch — O(n) array moves with no stage or
+  /// plan recomputation, preserving the dirty set across the compaction (the
+  /// detection/assignment boundary of run_flow). The view must be settled and
+  /// consistent with the network *before* the cleanup, and the network
+  /// reference must be the same object the compacted copy was assigned to.
+  void rebind_after_cleanup(const std::vector<NodeId>& old_to_new);
 
 private:
   void move_edges(NodeId from, NodeId to, const std::vector<NodeId>& entries,

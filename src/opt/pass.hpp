@@ -61,6 +61,23 @@ struct OptParams {
   /// charges for the rerouted consumers — charges the scheduler would have
   /// slid away anyway. false prices every donor at its ASAP stage.
   bool slack_aware_resub = true;
+  /// Partition-parallel engine (src/part/shard_runner.hpp): number of worker
+  /// threads optimizing fanout-bounded regions concurrently. 0 = today's
+  /// sequential pipeline (bit-identical default); any N >= 1 runs the
+  /// partitioned engine, whose result is byte-identical for every N.
+  unsigned partition_jobs = 0;
+  /// Gate-count cap per region for the partitioned engine.
+  std::size_t partition_max_region = 3000;
+  /// Below this many gates the partitioned engine falls back to the
+  /// sequential pipeline (shard overhead dominates).
+  std::size_t partition_min_gates = 4000;
+  /// SAT-check every Nth changed shard commit against its pre-optimization
+  /// sub-network (0 = off). Independent of `verify`, which guards every
+  /// shard's passes internally.
+  unsigned partition_sample_every = 8;
+  /// Run the boundary-stitching round (re-partition with offset seams and
+  /// re-optimize the regions holding surviving frozen-boundary roots).
+  bool partition_stitch = true;
   MultiphaseConfig clk{4};       ///< clocking for the DFF-aware cost model
   CellLibrary lib{};             ///< area model for gain accounting
   AreaConfig area{};             ///< accounting switches (clock share per cell)

@@ -209,6 +209,108 @@ TEST(IncrementalView, DetectionStyleCommitAndRollbackRestoreEverything) {
   }
 }
 
+TEST(IncrementalView, RebindAfterCleanupMatchesScratchAndStaysMaintainable) {
+  const CostModel model = default_model();
+  for (const uint64_t seed : {7ull, 99ull, 4242ull}) {
+    Network net = testutil::random_network(seed, 8, 120).cleanup();
+    IncrementalView view(net, model, /*track_plan=*/true);
+
+    std::mt19937_64 rng(seed * 31 + 5);
+    const auto pick_live = [&]() -> NodeId {
+      for (unsigned tries = 0; tries < 64; ++tries) {
+        const NodeId id = static_cast<NodeId>(rng() % net.size());
+        if (!net.is_dead(id)) return id;
+      }
+      return kNullNode;
+    };
+    const auto mutate = [&] {
+      // A detection-style burst: appends, a reroute, then a dangling sweep,
+      // leaving dead nodes and moved edges for the compaction to erase.
+      for (unsigned edit = 0; edit < 10; ++edit) {
+        const NodeId a = pick_live();
+        const NodeId b = pick_live();
+        if (a == kNullNode || b == kNullNode) continue;
+        net.add_xor(a, b);
+        view.sync();
+      }
+      const NodeId target = pick_live();
+      if (target != kNullNode && view.fanout(target) > 0) {
+        const auto in_tfo = tfo_of(view, net, target);
+        for (NodeId id = 0; id < net.size(); ++id) {
+          if (!net.is_dead(id) && !in_tfo[id] && id != target) {
+            view.replace(target, id);
+            break;
+          }
+        }
+      }
+      view.kill_dangling_from(0);
+    };
+
+    for (unsigned round = 0; round < 3; ++round) {
+      mutate();
+      expect_matches_scratch(view, net, model);
+
+      // The satellite move: compact the network in place and translate the
+      // view through the remap instead of rebuilding it.
+      const uint64_t rebuilds_before = view.view_stats().full_rebuilds;
+      std::vector<NodeId> old_to_new;
+      net = net.cleanup(&old_to_new);
+      view.rebind_after_cleanup(old_to_new);
+      EXPECT_EQ(view.view_stats().full_rebuilds, rebuilds_before);
+      expect_matches_scratch(view, net, model);
+    }
+    EXPECT_EQ(view.view_stats().rebinds, 3u);
+  }
+}
+
+TEST(IncrementalView, DetectionAdoptsCallerViewAndHandsItBackValid) {
+  const CostModel model = default_model();
+  for (const uint64_t seed : {11ull, 77ull}) {
+    // Planted full-adder cones give detection real T1 commits to maintain
+    // the view through (and a compaction remap worth translating).
+    const Network input =
+        bench::random_network(seed, 8, 300, bench::RandomPoPolicy::SampleDeepest,
+                              /*plant_cone_every=*/12)
+            .cleanup();
+
+    Network a = input;
+    T1DetectionParams params;
+    const T1DetectionStats ref = detect_and_replace_t1(a, model, params);
+
+    Network b = input;
+    IncrementalView view(b, model, /*track_plan=*/true);
+    const T1DetectionStats got = detect_and_replace_t1(b, model, params, &view);
+
+    // Identical decisions and network result vs the private-view overload.
+    EXPECT_EQ(got.found, ref.found);
+    EXPECT_EQ(got.used, ref.used);
+    EXPECT_EQ(got.estimated_gain, ref.estimated_gain);
+    ASSERT_EQ(b.size(), a.size());
+    for (NodeId id = 0; id < b.size(); ++id) {
+      ASSERT_EQ(b.node(id).type, a.node(id).type);
+      ASSERT_EQ(b.node(id).num_fanins, a.node(id).num_fanins);
+      for (unsigned i = 0; i < b.node(id).num_fanins; ++i) {
+        ASSERT_EQ(b.node(id).fanin(i), a.node(id).fanin(i));
+      }
+    }
+    ASSERT_EQ(b.pos(), a.pos());
+
+    // The handed-back view is live over the compacted network — bit-equal to
+    // a scratch build, without having been rebuilt at the hand-off.
+    if (ref.used > 0) {
+      EXPECT_GE(view.view_stats().rebinds, 1u);
+    }
+    expect_matches_scratch(view, b, model);
+
+    // And still maintainable: a post-detection edit keeps it consistent.
+    if (b.num_pis() >= 2) {
+      b.add_and(b.pis()[0], b.pis()[1]);
+      view.sync();
+      expect_matches_scratch(view, b, model);
+    }
+  }
+}
+
 TEST(IncrementalView, LegacyFullRecomputeModeKeepsIdenticalState) {
   const CostModel model = default_model();
   Network a = testutil::random_network(11, 8, 100).cleanup();

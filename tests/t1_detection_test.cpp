@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "benchmarks/arith.hpp"
+#include "core/phase_assignment.hpp"
+#include "cost/cost_model.hpp"
 #include "network/equivalence.hpp"
 #include "network/simulation.hpp"
 
@@ -186,6 +188,47 @@ TEST(T1Detection, IdempotentOnConvertedNetwork) {
   const auto stats2 = detect_and_replace_t1(net, CellLibrary{});
   EXPECT_EQ(stats2.used, 0u);  // T1 regions are cut barriers
   EXPECT_EQ(net.count_of(GateType::T1), t1s);
+}
+
+TEST(T1Detection, GuardProbeThresholdSwitchesToEnvelopeAndStaysShallow) {
+  // Above `guard_probe_max_gates` the schedule-aware guard skips the measured
+  // ASAP-only counterfactual run and anchors its latency envelope at the
+  // maintained input latency instead. Forcing the threshold to 1 exercises
+  // that envelope path on a test-scale network; the contract is soundness
+  // plus the no-depth-regression guarantee relative to the *input*.
+  const unsigned bits = 8;
+  Network golden("rca");
+  const Word a = add_pi_word(golden, bits, "a");
+  const Word b = add_pi_word(golden, bits, "b");
+  const NodeId cin = golden.add_pi("cin");
+  add_po_word(golden, ripple_carry_adder(golden, a, b, cin), "s");
+
+  const MultiphaseConfig clk{4};
+  const CostModel model(CellLibrary{}, AreaConfig{}, clk);
+  PhaseAssignmentParams pp;
+  pp.clk = clk;
+  const Stage input_sink = assign_phases(golden, pp).output_stage;
+
+  Network probed = golden;
+  T1DetectionParams params;  // defaults: guard on, net far below the threshold
+  const auto probe_stats = detect_and_replace_t1(probed, model, params);
+  ASSERT_GT(probe_stats.used, 0u);
+
+  Network enveloped = golden;
+  params.guard_probe_max_gates = 1;
+  const auto env_stats = detect_and_replace_t1(enveloped, model, params);
+
+  // Envelope mode is still the same greedy detection: sound, productive on
+  // the ripple chain, and latency-bounded by the input schedule.
+  EXPECT_GT(env_stats.used, 0u);
+  EXPECT_EQ(check_equivalence_sat(enveloped, golden).result,
+            EquivalenceResult::Equivalent);
+  const Stage env_sink = assign_phases(enveloped, pp).output_stage;
+  EXPECT_LE(clk.cycles(env_sink - 1), clk.cycles(input_sink - 1));
+
+  // Below the threshold the counterfactual probe is measured and the result
+  // is unchanged from the historical behavior (same commits, same network).
+  EXPECT_EQ(probe_stats.found, env_stats.found);
 }
 
 }  // namespace
