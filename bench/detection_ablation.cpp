@@ -12,7 +12,7 @@
 /// regenerates its own network and writes its table row to a per-job buffer,
 /// so the output is deterministic and byte-identical to `--jobs 1`.
 ///
-/// Usage: detection_ablation [--jobs N] [--json <path>]
+/// Usage: detection_ablation [--jobs N] [--json <path>] [--db <path>]
 ///   --json <path> writes one record per configuration with quality metrics
 ///   and per-stage wall times (src/benchmarks/record.hpp schema).
 
@@ -43,13 +43,17 @@ void print_row(std::ostream& os, const std::string& label, std::size_t found,
 int main(int argc, char** argv) {
   unsigned jobs = 0;
   std::string json_path;
+  std::string db_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      db_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--jobs N] [--json <path>]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--jobs N] [--json <path>] [--db <path>]\n";
       return 2;
     }
   }
@@ -122,8 +126,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\n(ΔA > 0 and a 16-cut budget recover the best area; tiny cut budgets\n"
                " miss shared-leaf groups, and forcing unprofitable matches wastes JJ.)\n";
-  if (!json_path.empty() &&
-      !bench::write_records(json_path, "detection_ablation", records)) {
+  if (!bench::emit_records(json_path, db_path, "detection_ablation", records)) {
     return 1;
   }
   return 0;

@@ -19,7 +19,7 @@
 /// fewer gates on the adder/multiplier-class benchmarks.
 ///
 /// Usage: opt_ablation [--phases N] [--shrink K] [--no-verify]
-///                     [--sat-budget C] [--jobs N] [--json <path>]
+///                     [--sat-budget C] [--jobs N] [--json <path>] [--db <path>]
 ///   --json <path> writes one record per (benchmark, variant) with quality
 ///   metrics and per-stage wall times (src/benchmarks/record.hpp schema).
 
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   bool verify = true;
   uint64_t sat_budget = 5000;
   std::string json_path;
+  std::string db_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
       phases = static_cast<unsigned>(std::stoul(argv[++i]));
@@ -78,10 +79,12 @@ int main(int argc, char** argv) {
       verify = false;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      db_path = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]"
-                   " [--jobs N] [--json <path>]\n";
+                   " [--jobs N] [--json <path>] [--db <path>]\n";
       return 2;
     }
   }
@@ -174,7 +177,7 @@ int main(int argc, char** argv) {
                 << off.opt_gates << " -> " << all.opt_gates << ")\n";
     }
   }
-  if (!json_path.empty() && !bench::write_records(json_path, "opt_ablation", records)) {
+  if (!bench::emit_records(json_path, db_path, "opt_ablation", records)) {
     return 1;
   }
   return all_ok ? 0 : 1;

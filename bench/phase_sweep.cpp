@@ -9,7 +9,7 @@
 /// job regenerates its own network and writes its row to a per-job buffer, so
 /// the output is deterministic and byte-identical to `--jobs 1`.
 ///
-/// Usage: phase_sweep [--shrink K] [--full] [--jobs N] [--json <path>]
+/// Usage: phase_sweep [--shrink K] [--full] [--jobs N] [--json <path>] [--db <path>]
 ///   --json <path> writes one record per (circuit, n) with the baseline and
 ///   (n >= 4) T1 quality metrics (src/benchmarks/record.hpp schema).
 
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   unsigned shrink = 4;
   unsigned jobs = 0;
   std::string json_path;
+  std::string db_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shrink") == 0 && i + 1 < argc) {
       shrink = static_cast<unsigned>(std::stoul(argv[++i]));
@@ -38,9 +39,11 @@ int main(int argc, char** argv) {
       jobs = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      db_path = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--shrink K] [--full] [--jobs N] [--json <path>]\n";
+                << " [--shrink K] [--full] [--jobs N] [--json <path>] [--db <path>]\n";
       return 2;
     }
   }
@@ -102,7 +105,7 @@ int main(int argc, char** argv) {
     }
   }
   bench::run_jobs(std::move(rows), std::cout, jobs);
-  if (!json_path.empty() && !bench::write_records(json_path, "phase_sweep", records)) {
+  if (!bench::emit_records(json_path, db_path, "phase_sweep", records)) {
     return 1;
   }
   return 0;

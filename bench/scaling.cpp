@@ -34,7 +34,8 @@
 /// sampled SAT checks must report zero rejections.
 ///
 /// Usage: scaling [--points g1,g2,...] [--max-legacy-gates N] [--smoke]
-///                [--json <path>] [--part] [--part-jobs N] [--part-smoke]
+///                [--json <path>] [--db <path>] [--part] [--part-jobs N]
+///                [--part-smoke]
 ///   --points            gate counts to sweep (default 1000,5000,10000,20000,50000;
 ///                       with --part: 20000,50000,200000)
 ///   --max-legacy-gates  skip the legacy path above this size (default 20000;
@@ -43,12 +44,15 @@
 ///                       partition-race record on the random family). The
 ///                       identity and convert-something assertions still
 ///                       hard-fail; the speedup trajectory is gated by CI
-///                       against the committed BENCH_scaling.json snapshot via
-///                       scripts/check_bench_regression.py (tolerance bands
-///                       instead of hard-coded constants).
+///                       against the committed result history
+///                       (bench_history.jsonl, rolling median) via
+///                       scripts/check_bench_regression.py --db.
 ///   --json <path>       write one machine-readable record per circuit
 ///                       (metrics, per-stage wall times, speedup ratios, obs
 ///                       counters); also enables the obs registry/spans.
+///   --db <path>         append the same records to the append-only result DB,
+///                       stamped with commit/branch/build/host (also enables
+///                       the obs registry; see src/obs/resultdb.hpp).
 ///   --part              partition-parallel sweep only (random family, up to
 ///                       the 200k-gate point by default)
 ///   --part-jobs N       worker threads for the partitioned engine (default 8)
@@ -243,7 +247,9 @@ PartRace race_partition(const Network& input, unsigned jobs,
 
 /// The partition sweep / CI smoke gate. Returns the process exit code.
 int run_partition_mode(const std::vector<unsigned>& points, unsigned jobs,
-                       double min_speedup, const std::string& json_path) {
+                       double min_speedup, const std::string& json_path,
+                       const std::string& db_path) {
+  const bool emit = !json_path.empty() || !db_path.empty();
   std::cout << "Partition-parallel opt (src/part/, " << jobs
             << " jobs vs sequential, 1 round)\n";
   std::cout << std::setw(14) << "circuit" << std::setw(9) << "gates" << std::setw(11)
@@ -287,7 +293,7 @@ int run_partition_mode(const std::vector<unsigned>& points, unsigned jobs,
       ok = false;
     }
 
-    if (!json_path.empty()) {
+    if (emit) {
       bench::BenchRecord rec;
       rec.circuit = net.name();
       rec.config = "part jobs=" + std::to_string(jobs) + " opt=1round";
@@ -302,7 +308,7 @@ int run_partition_mode(const std::vector<unsigned>& points, unsigned jobs,
   if (!ok) {
     return 1;
   }
-  if (!json_path.empty() && !bench::write_records(json_path, "scaling", records)) {
+  if (!bench::emit_records(json_path, db_path, "scaling", records)) {
     return 1;
   }
   return 0;
@@ -319,6 +325,7 @@ int main(int argc, char** argv) {
   bool points_overridden = false;
   unsigned part_jobs = 8;
   std::string json_path;
+  std::string db_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
       points.clear();
@@ -334,6 +341,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      db_path = argv[++i];
     } else if (std::strcmp(argv[i], "--part") == 0) {
       part_mode = true;
     } else if (std::strcmp(argv[i], "--part-jobs") == 0 && i + 1 < argc) {
@@ -343,22 +352,24 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--points g1,g2,...] [--max-legacy-gates N] [--smoke]"
-                   " [--json <path>] [--part] [--part-jobs N] [--part-smoke]\n";
+                   " [--json <path>] [--db <path>] [--part] [--part-jobs N]"
+                   " [--part-smoke]\n";
       return 2;
     }
   }
-  if (!json_path.empty()) {
+  const bool emit = !json_path.empty() || !db_path.empty();
+  if (emit) {
     obs::set_enabled(true);
   }
   if (part_smoke) {
     // The CI wall-clock gate: 100k gates, 4 workers, >= 1.5x or exit 1.
-    return run_partition_mode({100000}, 4, 1.5, json_path);
+    return run_partition_mode({100000}, 4, 1.5, json_path, db_path);
   }
   if (part_mode) {
     if (points_overridden == false) {
       points = {20000, 50000, 200000};
     }
-    return run_partition_mode(points, part_jobs, /*min_speedup=*/0, json_path);
+    return run_partition_mode(points, part_jobs, /*min_speedup=*/0, json_path, db_path);
   }
   if (smoke) {
     points = {10000};
@@ -460,7 +471,7 @@ int main(int argc, char** argv) {
                   << std::setw(10) << "(legacy skipped)" << std::setw(8)
                   << std::setprecision(1) << pa.speedup() << "x\n";
       }
-      if (!json_path.empty()) {
+      if (emit) {
         bench::capture_counters(rec);
         records.push_back(std::move(rec));
       }
@@ -482,7 +493,7 @@ int main(int argc, char** argv) {
                   << pr.gates_in << std::setw(11) << pr.part_ms << " ms ("
                   << pr.stats.regions << " regions, seq " << pr.seq_ms
                   << " ms, " << std::setprecision(1) << pr.speedup() << "x)\n";
-        if (!json_path.empty()) {
+        if (emit) {
           bench::BenchRecord prec;
           prec.circuit = net.name();
           prec.config = "part jobs=4 opt=1round";
@@ -501,7 +512,7 @@ int main(int argc, char** argv) {
                  "converted nothing).\n";
     return 1;
   }
-  if (!json_path.empty() && !bench::write_records(json_path, "scaling", records)) {
+  if (!bench::emit_records(json_path, db_path, "scaling", records)) {
     return 1;
   }
   return 0;

@@ -14,7 +14,7 @@
 /// sequential (`--jobs 1`); pass `--jobs N` explicitly when the wall-time
 /// distortion from cross-job contention is acceptable.
 ///
-/// Usage: solver_ablation [--jobs N] [--json <path>]
+/// Usage: solver_ablation [--jobs N] [--json <path>] [--db <path>]
 ///   --json <path> writes one record per circuit with the DFF counts of both
 ///   engines, their wall times, and the heuristic/MILP DFF gap as a ratio
 ///   (src/benchmarks/record.hpp schema).
@@ -54,13 +54,17 @@ double run_ms(const Network& net, PhaseEngine engine, bool use_t1, FlowMetrics* 
 int main(int argc, char** argv) {
   unsigned jobs = 1;  // timing bench: parallel rows distort the ms columns
   std::string json_path;
+  std::string db_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      db_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--jobs N] [--json <path>]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--jobs N] [--json <path>] [--db <path>]\n";
       return 2;
     }
   }
@@ -123,8 +127,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\n(The MILP is the paper's eq. 3 formulation with assignment binaries for\n"
                " the T1 landing slots; gap% > 0 means the heuristic left DFFs on the table.)\n";
-  if (!json_path.empty() &&
-      !bench::write_records(json_path, "solver_ablation", records)) {
+  if (!bench::emit_records(json_path, db_path, "solver_ablation", records)) {
     return 1;
   }
   return 0;

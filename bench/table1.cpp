@@ -18,7 +18,7 @@
 /// and a pulse-level simulation of the physical netlist (timing + function).
 ///
 /// Usage: table1 [--phases N] [--shrink K] [--no-verify] [--sat-budget C]
-///               [--opt] [--jobs N] [--json <path>]
+///               [--opt] [--jobs N] [--json <path>] [--db <path>]
 ///   --shrink K scales all benchmark widths down by K for quick runs.
 ///   --sat-budget C caps the SAT proof at C conflicts per output (default
 ///   5000; simulation and pulse-level checks always run in full).
@@ -27,9 +27,12 @@
 ///   bench/opt_ablation.cpp for the per-pass effect of the optimizer.
 ///   --jobs N sizes the thread pool (default: hardware concurrency).
 ///   --json <path> writes one record per (benchmark, flow) with quality
-///   metrics and per-stage wall times; gated in CI against BENCH_table1.json
-///   via scripts/check_bench_regression.py. (Per-record obs counters are not
-///   captured here: jobs run concurrently and the registry is process-wide.)
+///   metrics and per-stage wall times; gated in CI against the committed
+///   result history (bench_history.jsonl) via scripts/check_bench_regression.py.
+///   --db <path> appends the same records to the append-only result DB,
+///   stamped with commit/branch/build/host (see src/obs/resultdb.hpp).
+///   (Per-record obs counters are not captured here: jobs run concurrently
+///   and the registry is process-wide.)
 
 #include <atomic>
 #include <cstring>
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
   bool opt = false;
   uint64_t sat_budget = 5000;
   std::string json_path;
+  std::string db_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
       phases = static_cast<unsigned>(std::stoul(argv[++i]));
@@ -70,10 +74,12 @@ int main(int argc, char** argv) {
       opt = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      db_path = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]"
-                   " [--opt] [--jobs N] [--json <path>]\n";
+                   " [--opt] [--jobs N] [--json <path>] [--db <path>]\n";
       return 2;
     }
   }
@@ -173,7 +179,7 @@ int main(int argc, char** argv) {
   std::cout << "  adder   T1 area   vs " << phases << "phi: "
             << (static_cast<double>(adder.t1.area_jj) / adder.multi_phase.area_jj - 1) * 100
             << "%\n";
-  if (!json_path.empty() && !bench::write_records(json_path, "table1", records)) {
+  if (!bench::emit_records(json_path, db_path, "table1", records)) {
     return 1;
   }
   return all_ok ? 0 : 1;

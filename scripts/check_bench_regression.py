@@ -1,42 +1,51 @@
 #!/usr/bin/env python3
-"""Gate a bench --json run against a committed snapshot.
+"""Gate a bench --json run against the committed result history (or a snapshot).
 
-Usage:
+History mode (the CI gate, mirrors `dbtool gate` / obs::gate_against_history):
+  check_bench_regression.py --db bench_history.jsonl --current out.json
+                            [--current more.json ...] [--last-k K]
+                            [--quality-tol FRAC] [--ratio-frac FRAC]
+                            [--ratio-floor R] [--top N]
+
+  The database is the append-only JSON-lines file committed at the repo root
+  (`t1sfq-result-v1` rows, see src/obs/resultdb.hpp). Per (bench, circuit,
+  config_hash) key:
+
+    metrics   must match the latest recorded row exactly (--quality-tol
+              allows relative drift; the flow is deterministic, so 0 is the
+              default).
+    ratios    must satisfy current >= max(ratio_floor, ratio_frac * median)
+              where the median runs over the last K rows carrying the ratio —
+              one noisy entry cannot move the band the way a single snapshot
+              could.
+    coverage  every key still alive at the history's latest commit (for a
+              bench the current run covers) must appear; silently vanished
+              records fail. Keys retired at older commits stay quiet.
+    time_ms / counters   informational, never gated — but on a ratio failure
+              the counter snapshots are diffed against the reference row and
+              the top deltas (with the suspect subsystem) are printed, same
+              scoring as `dbtool explain`.
+
+  Corrupt or wrong-schema history lines are skipped and counted, never fatal.
+
+Snapshot mode (legacy):
   check_bench_regression.py --baseline BENCH_scaling.json --current out.json
                             [--quality-tol FRAC] [--ratio-frac FRAC]
                             [--ratio-floor R]
 
-Both files are `t1sfq-bench-v1` documents (see src/benchmarks/record.hpp).
-Records are joined on (bench, circuit, config_hash) and compared field class
-by field class:
-
-  metrics   deterministic quality numbers (gates, DFFs, area, depth, T1 use).
-            Exact match by default; --quality-tol 0.02 allows each value to
-            drift by 2% relative (use only for fields that are legitimately
-            machine-sensitive — the flow itself is deterministic).
-
-  ratios    relative speeds (e.g. incremental-vs-legacy speedup). Wall times
-            fluctuate with the machine, so these get a tolerance band:
-            current >= max(ratio_floor, ratio_frac * baseline). The floor
-            keeps "incremental must actually win" as an absolute invariant;
-            the fraction tracks the committed trajectory so a 7x speedup
-            cannot silently decay to 1.1x.
-
-  time_ms / counters   informational only, never gated (absolute numbers
-            depend on the machine and the instrumentation build).
-
-A baseline record missing from the current run is a failure (coverage loss);
-extra current records are reported but pass (new circuits/configs are fine —
-refresh the snapshot to start gating them).
+  Both files are `t1sfq-bench-v1` documents; the baseline acts as a
+  single-entry history (exact metrics, banded ratios, full coverage).
 
 Exit code: 0 = within bands, 1 = regression or coverage loss, 2 = bad input.
 """
 
 import argparse
 import json
+import math
 import sys
 
 SCHEMA = "t1sfq-bench-v1"
+DB_SCHEMA = "t1sfq-result-v1"
 
 
 def load(path):
@@ -63,32 +72,213 @@ def index(doc):
     return out
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True, help="committed snapshot JSON")
-    ap.add_argument("--current", required=True, help="fresh bench --json output")
-    ap.add_argument(
-        "--quality-tol",
-        type=float,
-        default=0.0,
-        help="relative tolerance on metrics (default 0 = exact)",
-    )
-    ap.add_argument(
-        "--ratio-frac",
-        type=float,
-        default=0.5,
-        help="current ratio must be >= FRAC * baseline ratio (default 0.5)",
-    )
-    ap.add_argument(
-        "--ratio-floor",
-        type=float,
-        default=1.0,
-        help="absolute minimum for every gated ratio (default 1.0)",
-    )
-    args = ap.parse_args()
+def load_db(path):
+    """Returns (rows in append order, skipped line count).
 
+    A row must carry the result-v1 schema and the identity fields; anything
+    else — malformed JSON, wrong schema, a truncated line — is skipped and
+    counted, matching obs::load_result_db.
+    """
+    rows, skipped = [], 0
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if (
+            not isinstance(row, dict)
+            or row.get("schema") != DB_SCHEMA
+            or not all(k in row for k in ("bench", "circuit", "config_hash", "commit"))
+        ):
+            skipped += 1
+            continue
+        rows.append(row)
+    return rows, skipped
+
+
+def key_of(row):
+    return (row["bench"], row["circuit"], row["config_hash"])
+
+
+def label_of(row):
+    return f"{row['bench']}/{row['circuit']}[{row.get('config', '')}]"
+
+
+def median(values):
+    values = sorted(values)
+    n = len(values)
+    if n == 0:
+        return 0.0
+    if n % 2 == 1:
+        return values[n // 2]
+    return 0.5 * (values[n // 2 - 1] + values[n // 2])
+
+
+def attribute_counters(ref, cur, top_n):
+    """Top counter deltas between two rows, scored as in obs::attribute_counters:
+    |log2((|cur|+1)/(|ref|+1))| * log2(2 + max(|ref|, |cur|))."""
+    ref_c = ref.get("counters", {}) or {}
+    cur_c = cur.get("counters", {}) or {}
+    deltas = []
+    for name in set(ref_c) | set(cur_c):
+        r, c = ref_c.get(name, 0), cur_c.get(name, 0)
+        if r == c:
+            continue
+        rel = (c - r) / max(1.0, abs(r))
+        score = abs(math.log2((abs(c) + 1.0) / (abs(r) + 1.0))) * math.log2(
+            2.0 + max(abs(r), abs(c))
+        )
+        deltas.append((score, name, r, c, rel))
+    deltas.sort(key=lambda d: (-d[0], d[1]))
+    return deltas[:top_n]
+
+
+def subsystem(counter_name):
+    return counter_name.rsplit(".", 1)[0] if "." in counter_name else counter_name
+
+
+def attribution_text(ref, cur, top_n):
+    deltas = attribute_counters(ref, cur, top_n)
+    if not deltas:
+        return " (no counter deltas — counter snapshots identical or absent)"
+    out = f"; suspect subsystem: {subsystem(deltas[0][1])}; top counter deltas:"
+    for _, name, r, c, rel in deltas:
+        out += f" {name} {r}->{c} ({rel * 100.0:+.4g}%)"
+    return out
+
+
+def load_current_rows(paths):
+    """Flattens one or more bench-v1 documents into result-row shaped dicts."""
+    rows = []
+    for path in paths:
+        doc = load(path)
+        for rec in doc["records"]:
+            rows.append(
+                {
+                    "bench": doc["bench"],
+                    "circuit": rec["circuit"],
+                    "config": rec.get("config", ""),
+                    "config_hash": rec["config_hash"],
+                    "metrics": rec.get("metrics", {}),
+                    "ratios": rec.get("ratios", {}),
+                    "counters": rec.get("counters", {}),
+                }
+            )
+    return rows
+
+
+def gate_against_db(args):
+    history, skipped = load_db(args.db)
+    current = load_current_rows(args.current)
+    if not current:
+        sys.exit("error: no current records")
+
+    hist = {}
+    latest_commit = {}  # bench -> commit of the last appended row
+    for row in history:
+        hist.setdefault(key_of(row), []).append(row)
+        latest_commit[row["bench"]] = row["commit"]
+    cur = {key_of(row): row for row in current}
+    current_benches = {row["bench"] for row in current}
+
+    failures = []
+    checked_metrics = checked_ratios = ungated_new = 0
+
+    # Coverage: keys still alive at the bench's latest commit must appear.
+    for key, rows in sorted(hist.items()):
+        if key[0] not in current_benches:
+            continue
+        if rows[-1]["commit"] != latest_commit[key[0]]:
+            continue
+        if key not in cur:
+            failures.append(
+                f"{label_of(rows[-1])}: record missing from current run"
+                " (coverage loss)"
+            )
+
+    for row in current:
+        label = label_of(row)
+        traj = hist.get(key_of(row))
+        if not traj:
+            ungated_new += 1
+            print(f"note: {label}: no history yet — ungated")
+            continue
+        ref = traj[-1]
+
+        for name, bval in (ref.get("metrics", {}) or {}).items():
+            if name not in row["metrics"]:
+                failures.append(f"{label}: metric {name!r} missing")
+                continue
+            cval = row["metrics"][name]
+            checked_metrics += 1
+            tol = abs(bval) * args.quality_tol
+            if abs(cval - bval) > tol:
+                failures.append(
+                    f"{label}: metric {name} = {cval}, history {bval}"
+                    f" @{ref['commit']}"
+                    + (f" (tol ±{tol:g})" if tol else " (exact)")
+                )
+
+        for name in ref.get("ratios", {}) or {}:
+            if name not in row["ratios"]:
+                failures.append(f"{label}: ratio {name!r} missing")
+                continue
+            cval = row["ratios"][name]
+            checked_ratios += 1
+            window = [
+                r["ratios"][name]
+                for r in reversed(traj)
+                if name in (r.get("ratios", {}) or {})
+            ][: args.last_k]
+            med = median(window)
+            bound = max(args.ratio_floor, args.ratio_frac * med)
+            if cval < bound:
+                failures.append(
+                    f"{label}: ratio {name} = {cval:.4g} < required {bound:.4g}"
+                    f" (median of last {len(window)} = {med:.4g})"
+                    + attribution_text(ref, row, args.top)
+                )
+            else:
+                print(
+                    f"ok {label}: {name} = {cval:.4g}"
+                    f" (>= {bound:.4g}; median of last {len(window)} = {med:.4g})"
+                )
+
+    print(
+        f"checked {checked_metrics} metrics, {checked_ratios} ratios"
+        f" against {args.db} ({ungated_new} new ungated"
+        + (f", {skipped} corrupt line(s) skipped" if skipped else "")
+        + ")"
+    )
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        print(
+            "hint: dbtool explain --db "
+            + args.db
+            + " "
+            + " ".join(f"--current {p}" for p in args.current)
+            + "  # counter-level attribution",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench regression gate: PASS")
+    return 0
+
+
+def gate_against_baseline(args):
     base = load(args.baseline)
-    cur = load(args.current)
+    if len(args.current) != 1:
+        sys.exit("error: --baseline mode takes exactly one --current file")
+    cur = load(args.current[0])
     if base["bench"] != cur["bench"]:
         sys.exit(f"error: bench mismatch: {base['bench']!r} vs {cur['bench']!r}")
 
@@ -153,6 +343,55 @@ def main():
         return 1
     print("bench regression gate: PASS")
     return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--db", help="append-only result history (bench_history.jsonl)")
+    ap.add_argument("--baseline", help="committed snapshot JSON (legacy mode)")
+    ap.add_argument(
+        "--current",
+        action="append",
+        required=True,
+        help="fresh bench --json output (repeatable in --db mode)",
+    )
+    ap.add_argument(
+        "--last-k",
+        type=int,
+        default=5,
+        help="rolling window for the ratio median in --db mode (default 5)",
+    )
+    ap.add_argument(
+        "--quality-tol",
+        type=float,
+        default=0.0,
+        help="relative tolerance on metrics (default 0 = exact)",
+    )
+    ap.add_argument(
+        "--ratio-frac",
+        type=float,
+        default=0.5,
+        help="current ratio must be >= FRAC * reference (default 0.5)",
+    )
+    ap.add_argument(
+        "--ratio-floor",
+        type=float,
+        default=1.0,
+        help="absolute minimum for every gated ratio (default 1.0)",
+    )
+    ap.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="counter deltas attached to a ratio failure in --db mode (default 3)",
+    )
+    args = ap.parse_args()
+
+    if bool(args.db) == bool(args.baseline):
+        sys.exit("error: pass exactly one of --db or --baseline")
+    if args.db:
+        return gate_against_db(args)
+    return gate_against_baseline(args)
 
 
 if __name__ == "__main__":

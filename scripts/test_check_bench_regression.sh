@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Tests for scripts/check_bench_regression.py --db (the CI gate): pass,
+# ratio regression (with counter attribution), quality-metric drift, and a
+# corrupt history line. Runs from any directory; needs only python3.
+#
+# Usage: test_check_bench_regression.sh  (exit 0 = all cases behave)
+set -u
+
+SCRIPT_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+GATE="$SCRIPT_DIR/check_bench_regression.py"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fails=0
+expect() { # expect <name> <expected-exit> <actual-exit>
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL $1: expected exit $2, got $3" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok $1"
+  fi
+}
+
+row() { # row <commit> <area> <speedup> <declines>  -> one t1sfq-result-v1 line
+  printf '{"schema": "t1sfq-result-v1","bench": "demo","circuit": "adder",'
+  printf '"config": "t1","config_hash": 42,"commit": "%s","branch": "main",' "$1"
+  printf '"build": "release","host": "h/x","unix_time": 1,'
+  printf '"metrics": {"area_jj": %s},"time_ms": {"total": 1.0},' "$2"
+  printf '"ratios": {"speedup": %s},' "$3"
+  printf '"counters": {"detect.guard.declines": %s}}\n' "$4"
+}
+
+doc() { # doc <area> <speedup> <declines>  -> a t1sfq-bench-v1 document
+  printf '{"schema": "t1sfq-bench-v1","bench": "demo","records": ['
+  printf '{"circuit": "adder","config": "t1","config_hash": 42,'
+  printf '"metrics": {"area_jj": %s},"time_ms": {"total": 1.0},' "$1"
+  printf '"ratios": {"speedup": %s},' "$2"
+  printf '"counters": {"detect.guard.declines": %s}}]}\n' "$3"
+}
+
+# Three-commit history: speedup trajectory 3.0, 3.4, 3.2 (median 3.2).
+{ row c1 100 3.0 110; row c2 100 3.4 120; row c3 100 3.2 116; } > "$TMP/db.jsonl"
+
+# 1. Current run inside all bands -> pass.
+doc 100 3.1 118 > "$TMP/good.json"
+python3 "$GATE" --db "$TMP/db.jsonl" --current "$TMP/good.json" > "$TMP/out1" 2>&1
+expect pass 0 $?
+
+# 2. Ratio below max(floor, 0.5 * median) -> fail, with counter attribution
+#    naming the suspect subsystem.
+doc 100 0.9 5000 > "$TMP/slow.json"
+python3 "$GATE" --db "$TMP/db.jsonl" --current "$TMP/slow.json" > "$TMP/out2" 2>&1
+expect ratio_regression 1 $?
+grep -q "suspect subsystem: detect.guard" "$TMP/out2" || {
+  echo "FAIL ratio_regression: no counter attribution in output" >&2
+  cat "$TMP/out2" >&2
+  fails=$((fails + 1))
+}
+grep -q "detect.guard.declines 116->5000" "$TMP/out2" || {
+  echo "FAIL ratio_regression: top counter delta not named" >&2
+  fails=$((fails + 1))
+}
+
+# 3. Quality metric drift (exact gate) -> fail.
+doc 101 3.2 116 > "$TMP/drift.json"
+python3 "$GATE" --db "$TMP/db.jsonl" --current "$TMP/drift.json" > "$TMP/out3" 2>&1
+expect metric_drift 1 $?
+grep -q "metric area_jj = 101, history 100" "$TMP/out3" || {
+  echo "FAIL metric_drift: drift not reported" >&2
+  fails=$((fails + 1))
+}
+
+# 4. Corrupt history line -> skipped and counted, gate still passes.
+cp "$TMP/db.jsonl" "$TMP/corrupt.jsonl"
+printf '{"schema": "t1sfq-result-v1", TRUNCATED\n' >> "$TMP/corrupt.jsonl"
+python3 "$GATE" --db "$TMP/corrupt.jsonl" --current "$TMP/good.json" > "$TMP/out4" 2>&1
+expect corrupt_history 0 $?
+grep -q "1 corrupt line(s) skipped" "$TMP/out4" || {
+  echo "FAIL corrupt_history: skipped line not counted" >&2
+  fails=$((fails + 1))
+}
+
+# 5. Coverage loss: key alive at the latest commit missing from the run.
+{ cat "$TMP/db.jsonl"
+  printf '{"schema": "t1sfq-result-v1","bench": "demo","circuit": "mult",'
+  printf '"config": "t1","config_hash": 43,"commit": "c3","branch": "main",'
+  printf '"build": "release","host": "h/x","unix_time": 1,'
+  printf '"metrics": {"area_jj": 9},"time_ms": {},"ratios": {},"counters": {}}\n'
+} > "$TMP/wide.jsonl"
+python3 "$GATE" --db "$TMP/wide.jsonl" --current "$TMP/good.json" > "$TMP/out5" 2>&1
+expect coverage_loss 1 $?
+grep -q "coverage loss" "$TMP/out5" || {
+  echo "FAIL coverage_loss: not reported" >&2
+  fails=$((fails + 1))
+}
+
+# 6. Legacy snapshot mode unchanged.
+python3 "$GATE" --baseline "$TMP/good.json" --current "$TMP/good.json" > "$TMP/out6" 2>&1
+expect legacy_pass 0 $?
+python3 "$GATE" --baseline "$TMP/good.json" --current "$TMP/drift.json" > "$TMP/out7" 2>&1
+expect legacy_drift 1 $?
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails case(s) failed" >&2
+  exit 1
+fi
+echo "all gate cases behave"

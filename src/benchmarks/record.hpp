@@ -47,11 +47,28 @@ struct BenchRecord {
 /// (bench, circuit, config_hash).
 uint64_t config_hash(const std::string& config);
 
-/// Copies the current obs metrics registry into \p out.counters.
+/// Copies the current obs metrics registry into \p out.counters. Duration
+/// histograms contribute `.count`/`.sum_us`/`.max_us` plus the `.p50_us`/
+/// `.p95_us`/`.p99_us` estimates, and the process-wide `DiskCache::stats()`
+/// (hits/misses/corruption fallbacks/bytes) is always included — cache
+/// effectiveness is part of every trajectory even when the registry mirror
+/// was off for part of the run.
 void capture_counters(BenchRecord& out);
 
 /// Writes the document; returns false (with a note on stderr) on I/O failure.
 bool write_records(const std::string& path, const std::string& bench,
                    const std::vector<BenchRecord>& records);
+
+/// Appends one result-DB row per record (see src/obs/resultdb.hpp) to the
+/// JSON-lines history at \p db_path, stamped with `obs::current_stamp()`
+/// (commit/branch/build/host/time). Returns false on I/O failure.
+bool append_records_to_db(const std::string& db_path, const std::string& bench,
+                          const std::vector<BenchRecord>& records);
+
+/// The shared `--json` / `--db` epilogue of every bench driver: writes the
+/// document when \p json_path is set, appends to the history DB when
+/// \p db_path is set. Returns false if either emission failed.
+bool emit_records(const std::string& json_path, const std::string& db_path,
+                  const std::string& bench, const std::vector<BenchRecord>& records);
 
 }  // namespace t1sfq::bench

@@ -26,20 +26,29 @@ void write_escaped(std::ostream& os, std::string_view s) {
       case '\t':
         os << "\\t";
         break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // Byte-string semantics: escape every control byte AND every byte
+        // >= 0x7f as \u00XX. The output stays printable ASCII (valid JSON for
+        // any consumer), and parse() maps \u00XX back to the single byte, so
+        // arbitrary bytes — including invalid UTF-8 — round-trip exactly.
+        const unsigned char b = static_cast<unsigned char>(c);
+        if (b < 0x20 || b >= 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", b);
           os << buf;
         } else {
           os << c;
         }
+      }
     }
   }
   os << '"';
 }
 
 void Writer::newline_() {
+  if (compact_) {
+    return;
+  }
   os_ << '\n';
   for (std::size_t i = 0; i < has_item_.size(); ++i) {
     os_ << "  ";
@@ -185,6 +194,37 @@ struct Parser {
     return false;
   }
 
+  /// Reads 4 hex digits at `pos` into \p code; advances on success.
+  bool parse_hex4(unsigned& code) {
+    if (pos + 4 > text.size()) {
+      return false;
+    }
+    const auto res = std::from_chars(text.data() + pos, text.data() + pos + 4, code, 16);
+    if (res.ec != std::errc{} || res.ptr != text.data() + pos + 4) {
+      return false;
+    }
+    pos += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
   std::string parse_string() {
     std::string out;
     if (!consume('"')) {
@@ -214,20 +254,39 @@ struct Parser {
         case 'b': out += '\b'; break;
         case 'f': out += '\f'; break;
         case 'u': {
-          if (pos + 4 > text.size()) {
-            ok = false;
-            return out;
-          }
           unsigned code = 0;
-          const auto res =
-              std::from_chars(text.data() + pos, text.data() + pos + 4, code, 16);
-          if (res.ec != std::errc{}) {
+          if (!parse_hex4(code)) {
             ok = false;
             return out;
           }
-          pos += 4;
-          // ASCII escapes only (the writer emits nothing higher).
-          out += static_cast<char>(code < 0x80 ? code : '?');
+          // Surrogate pair: a high surrogate must be followed by \uDC00-DFFF.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            unsigned low = 0;
+            if (pos + 2 > text.size() || text[pos] != '\\' || text[pos + 1] != 'u') {
+              ok = false;
+              return out;
+            }
+            pos += 2;
+            if (!parse_hex4(low) || low < 0xDC00 || low > 0xDFFF) {
+              ok = false;
+              return out;
+            }
+            const unsigned cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            append_utf8(out, cp);
+            break;
+          }
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            ok = false;  // lone low surrogate
+            return out;
+          }
+          // \u00XX is the writer's byte escape: decode to the single byte so
+          // arbitrary byte strings round-trip. Higher codepoints (foreign
+          // documents) decode to their UTF-8 encoding.
+          if (code < 0x100) {
+            out += static_cast<char>(code);
+          } else {
+            append_utf8(out, code);
+          }
           break;
         }
         default:

@@ -20,15 +20,22 @@
 
 namespace t1sfq::json {
 
-/// Writes \p s with JSON string escaping (quotes included).
+/// Writes \p s with JSON string escaping (quotes included). Strings are
+/// treated as byte strings: control characters and every byte >= 0x7f are
+/// escaped as `\u00XX`, so the output is pure printable ASCII (always valid
+/// UTF-8/JSON) and `parse` recovers the input byte-for-byte — arbitrary
+/// circuit/config names survive a result-DB round trip.
 void write_escaped(std::ostream& os, std::string_view s);
 
 /// Streaming writer producing deterministic, human-diffable JSON. Callers
 /// drive structure explicitly; the writer tracks nesting to place commas and
-/// newlines. Indentation is two spaces per level.
+/// newlines. Indentation is two spaces per level. With \p compact, no
+/// newlines or indentation are emitted — one value per line, as the
+/// JSON-lines result DB (src/obs/resultdb.hpp) requires.
 class Writer {
  public:
-  explicit Writer(std::ostream& os) : os_(os) {}
+  explicit Writer(std::ostream& os, bool compact = false)
+      : os_(os), compact_(compact) {}
 
   Writer& begin_object();
   Writer& end_object();
@@ -58,6 +65,7 @@ class Writer {
   void newline_();
 
   std::ostream& os_;
+  bool compact_ = false;
   // Per nesting level: true once the first element was emitted.
   std::vector<bool> has_item_;
   bool after_key_ = false;

@@ -1,8 +1,44 @@
 #include "obs/metrics.hpp"
 
+#include <bit>
+#include <cmath>
 #include <cstdlib>
 
 namespace t1sfq::obs {
+
+namespace {
+
+/// Bucket index for a sample (see kHistogramBuckets).
+std::size_t bucket_index(uint64_t us) {
+  if (us == 0) {
+    return 0;
+  }
+  const std::size_t idx = static_cast<std::size_t>(std::bit_width(us));
+  return idx < kHistogramBuckets ? idx : kHistogramBuckets - 1;
+}
+
+}  // namespace
+
+uint64_t Metric::percentile_us(double p) const {
+  if (kind != MetricKind::Histogram || count == 0) {
+    return 0;
+  }
+  p = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= rank) {
+      // Upper bound of bucket i is 2^i - 1 (bucket 0 holds only 0).
+      const uint64_t upper = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+      return upper < max_us ? upper : max_us;
+    }
+  }
+  return max_us;
+}
 
 namespace {
 
@@ -104,6 +140,7 @@ void Registry::observe_us(std::string_view name, uint64_t us) {
     if (us > m.max_us) {
       m.max_us = us;
     }
+    m.buckets[bucket_index(us)] += 1;
     return;
   }
   Metric m;
@@ -112,6 +149,7 @@ void Registry::observe_us(std::string_view name, uint64_t us) {
   m.count = 1;
   m.sum_us = us;
   m.max_us = us;
+  m.buckets[bucket_index(us)] += 1;
   metrics_.emplace(m.name, m);
 }
 

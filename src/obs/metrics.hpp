@@ -14,6 +14,7 @@
 /// `T1SFQ_TRACE` turns it on for any process (value `1` or a path; see
 /// docs/OBSERVABILITY.md).
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -50,6 +51,11 @@ class ScopedEnable {
 
 enum class MetricKind { Counter, Gauge, Histogram };
 
+/// Number of power-of-two histogram buckets: bucket 0 holds value 0, bucket
+/// i >= 1 holds values in [2^(i-1), 2^i). 40 buckets cover > 15 years in
+/// microseconds.
+constexpr std::size_t kHistogramBuckets = 40;
+
 /// One registry row, as returned by snapshot().
 struct Metric {
   std::string name;
@@ -58,6 +64,14 @@ struct Metric {
   int64_t value = 0;    ///< gauge (last or max, per call site)
   uint64_t sum_us = 0;  ///< histogram: total microseconds
   uint64_t max_us = 0;  ///< histogram: largest sample
+  /// Histogram: per-bucket sample counts (log2 buckets, see above).
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  /// Approximate percentile from the log2 buckets: returns the upper bound of
+  /// the bucket holding the rank-`ceil(p * count)` sample, clamped to max_us —
+  /// exact for single-bucket distributions, within 2x otherwise. \p p is a
+  /// fraction (0.5 = p50). Returns 0 for empty histograms / non-histograms.
+  uint64_t percentile_us(double p) const;
 };
 
 class Registry {

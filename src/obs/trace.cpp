@@ -125,6 +125,29 @@ void clear_trace() {
 
 namespace {
 
+/// Emits `"histograms": [...]` — one summary object per duration histogram in
+/// the registry (count/sum/max plus the p50/p95/p99 estimates), in name
+/// order. Shared by both export formats so a trace consumer never has to
+/// re-derive quantiles from raw spans.
+void write_histogram_summaries(json::Writer& w) {
+  w.key("histograms").begin_array();
+  for (const Metric& m : Registry::instance().snapshot()) {
+    if (m.kind != MetricKind::Histogram) {
+      continue;
+    }
+    w.begin_object();
+    w.kv("name", m.name);
+    w.kv("count", m.count);
+    w.kv("sum_us", m.sum_us);
+    w.kv("max_us", m.max_us);
+    w.kv("p50_us", m.percentile_us(0.50));
+    w.kv("p95_us", m.percentile_us(0.95));
+    w.kv("p99_us", m.percentile_us(0.99));
+    w.end_object();
+  }
+  w.end_array();
+}
+
 void write_span_tree(json::Writer& w, const TraceEvent& ev,
                      const std::vector<const TraceEvent*>& events,
                      const std::vector<std::vector<std::size_t>>& children,
@@ -195,6 +218,7 @@ void write_report_json(std::ostream& os) {
     w.end_object();
   }
   w.end_array();
+  write_histogram_summaries(w);
   w.end_object();
   os << '\n';
 }
@@ -226,6 +250,9 @@ bool write_chrome_trace(const std::string& path) {
     w.end_object();
   }
   w.end_array();
+  // Chrome/Perfetto ignore unknown top-level keys; tooling that wants the
+  // duration quantiles reads them from here instead of re-bucketing spans.
+  write_histogram_summaries(w);
   w.kv("displayTimeUnit", "ms");
   w.end_object();
   os << '\n';

@@ -246,6 +246,150 @@ TEST_F(ObsTest, JsonWriterParserRoundTrip) {
   EXPECT_FALSE(json::parse("").has_value());
 }
 
+// Log2-bucket percentiles: the estimate is the bucket upper bound, clamped
+// to the observed max — within 2x of the true value by construction.
+TEST_F(ObsTest, HistogramPercentiles) {
+  obs::ScopedEnable on(true);
+  for (int i = 0; i < 90; ++i) {
+    obs::observe_us("lat", 10);  // bucket [8, 16): upper bound 15
+  }
+  for (int i = 0; i < 10; ++i) {
+    obs::observe_us("lat", 1000);  // bucket [512, 1024): clamped to max 1000
+  }
+  const auto snap = obs::Registry::instance().snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const obs::Metric& m = snap[0];
+  EXPECT_EQ(m.percentile_us(0.50), 15u);
+  EXPECT_EQ(m.percentile_us(0.90), 15u);   // rank 90 is the last 10us sample
+  EXPECT_EQ(m.percentile_us(0.99), 1000u); // rank 99 lands in the slow tail
+  EXPECT_EQ(m.percentile_us(1.0), 1000u);
+  EXPECT_EQ(m.percentile_us(0.0), 15u);    // clamped to rank 1
+  // Zero-valued samples live in bucket 0 (exact), empty histograms answer 0.
+  obs::observe_us("zeros", 0);
+  for (const auto& zm : obs::Registry::instance().snapshot()) {
+    if (zm.name == "zeros") {
+      EXPECT_EQ(zm.percentile_us(0.5), 0u);
+    }
+  }
+  EXPECT_EQ(obs::Metric{}.percentile_us(0.5), 0u);
+}
+
+// Property test: every byte string survives Writer -> parse, and the wire
+// form is pure ASCII (history rows must be one line and python-readable).
+TEST_F(ObsTest, JsonArbitraryBytesRoundTrip) {
+  std::vector<std::string> cases;
+  std::string all;  // every byte value once
+  for (int b = 0; b < 256; ++b) {
+    all.push_back(static_cast<char>(b));
+    cases.push_back(std::string(1, static_cast<char>(b)));
+  }
+  cases.push_back(all);
+  cases.push_back("plain ascii");
+  cases.push_back("caf\xc3\xa9 utf8");
+  cases.push_back(std::string("embedded\0nul", 12));
+  // Deterministic pseudo-random byte strings (LCG: no global RNG state).
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 64; ++i) {
+    std::string s;
+    const std::size_t len = 1 + (seed % 48);
+    for (std::size_t j = 0; j < len; ++j) {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      s.push_back(static_cast<char>(seed >> 33));
+    }
+    cases.push_back(std::move(s));
+  }
+  for (const std::string& s : cases) {
+    std::ostringstream os;
+    json::Writer w(os, /*compact=*/true);
+    w.begin_object();
+    w.kv("v", s);
+    w.end_object();
+    const std::string wire = os.str();
+    for (const char c : wire) {
+      ASSERT_TRUE(static_cast<unsigned char>(c) >= 0x20 &&
+                  static_cast<unsigned char>(c) < 0x7f)
+          << "non-ASCII wire byte for input len " << s.size();
+    }
+    const auto doc = json::parse(wire);
+    ASSERT_TRUE(doc.has_value()) << wire;
+    EXPECT_EQ(doc->find("v")->string, s) << wire;
+  }
+  // \u escapes above 0xFF decode as UTF-8, surrogate pairs included.
+  auto doc = json::parse("{\"v\": \"\\u20ac\"}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("v")->string, "\xe2\x82\xac");
+  doc = json::parse("{\"v\": \"\\ud83d\\ude00\"}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("v")->string, "\xf0\x9f\x98\x80");
+  EXPECT_FALSE(json::parse("{\"v\": \"\\ud83d\"}").has_value())
+      << "lone high surrogate must be rejected";
+  EXPECT_FALSE(json::parse("{\"v\": \"\\uZZZZ\"}").has_value());
+}
+
+// capture_counters must expose the histogram percentiles and the
+// process-wide disk-cache stats — both feed the result DB's counter
+// snapshots that `dbtool explain` diffs.
+TEST_F(ObsTest, CaptureCountersIncludesPercentilesAndDiskCache) {
+  obs::ScopedEnable on(true);
+  obs::count("detect.rounds", 3);
+  obs::observe_us("stage.detect", 100);
+  obs::observe_us("stage.detect", 200);
+  bench::BenchRecord rec;
+  bench::capture_counters(rec);
+  auto value = [&](const std::string& name) -> const int64_t* {
+    for (const auto& [k, v] : rec.counters) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(value("detect.rounds"), nullptr);
+  EXPECT_EQ(*value("detect.rounds"), 3);
+  ASSERT_NE(value("stage.detect.count"), nullptr);
+  EXPECT_EQ(*value("stage.detect.count"), 2);
+  ASSERT_NE(value("stage.detect.p50_us"), nullptr);
+  ASSERT_NE(value("stage.detect.p95_us"), nullptr);
+  ASSERT_NE(value("stage.detect.p99_us"), nullptr);
+  EXPECT_GE(*value("stage.detect.p95_us"), *value("stage.detect.p50_us"));
+  for (const char* name : {"cost.disk_cache.hits", "cost.disk_cache.misses",
+                           "cost.disk_cache.corruption_fallbacks",
+                           "cost.disk_cache.bytes_written"}) {
+    EXPECT_NE(value(name), nullptr) << name << " missing from counter snapshot";
+  }
+}
+
+// Both trace exports carry the histogram summary block (count/sum/max and
+// the percentile estimates) next to the span data.
+TEST_F(ObsTest, TraceExportsIncludeHistogramSummaries) {
+  obs::ScopedEnable on(true);
+  {
+    obs::Span span("work");
+  }
+  obs::observe_us("stage.assign", 50);
+  std::ostringstream os;
+  obs::write_report_json(os);
+  const auto doc = json::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const auto* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  ASSERT_TRUE(hists->is_array());
+  ASSERT_EQ(hists->items.size(), 1u);
+  const auto& h = hists->items[0];
+  EXPECT_EQ(h.find("name")->string, "stage.assign");
+  EXPECT_EQ(h.find("count")->as_int(), 1);
+  EXPECT_EQ(h.find("sum_us")->as_int(), 50);
+  ASSERT_NE(h.find("p50_us"), nullptr);
+  ASSERT_NE(h.find("p95_us"), nullptr);
+  ASSERT_NE(h.find("p99_us"), nullptr);
+
+  const std::string path = ::testing::TempDir() + "obs_chrome_hist.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  const auto chrome = json::parse(slurp(path));
+  std::remove(path.c_str());
+  ASSERT_TRUE(chrome.has_value());
+  ASSERT_NE(chrome->find("histograms"), nullptr);
+  EXPECT_EQ(chrome->find("histograms")->items.size(), 1u);
+}
+
 TEST_F(ObsTest, BenchRecordSchemaRoundTrip) {
   bench::BenchRecord rec;
   rec.circuit = "adder";
