@@ -35,7 +35,7 @@
 ///
 /// Usage: scaling [--points g1,g2,...] [--max-legacy-gates N] [--smoke]
 ///                [--json <path>] [--db <path>] [--part] [--part-jobs N]
-///                [--part-smoke]
+///                [--part-smoke] [--physics] [--physics-smoke]
 ///   --points            gate counts to sweep (default 1000,5000,10000,20000,50000;
 ///                       with --part: 20000,50000,200000)
 ///   --max-legacy-gates  skip the legacy path above this size (default 20000;
@@ -60,6 +60,13 @@
 ///                       unless the partitioned opt stage is >= 1.5x the
 ///                       sequential one (and equivalent). Run on a multi-core
 ///                       machine — a single hardware thread cannot pass.
+///   --physics           additionally runs a full flow + the pulse-level
+///                       physics oracle (verify/physics_check.hpp) on each
+///                       random-family point and emits a separate record with
+///                       physics_* metrics; an oracle failure fails the run.
+///   --physics-smoke     CI gate: one 10k-gate random flow (opt 1 round,
+///                       T1 on) through run_flow with the embedded oracle;
+///                       exits 1 on any oracle failure.
 
 #include <chrono>
 #include <cstring>
@@ -72,6 +79,7 @@
 #include "benchmarks/arith.hpp"
 #include "benchmarks/random_net.hpp"
 #include "benchmarks/record.hpp"
+#include "core/flow.hpp"
 #include "core/phase_assignment.hpp"
 #include "core/t1_detection.hpp"
 #include "cost/cost_model.hpp"
@@ -314,6 +322,30 @@ int run_partition_mode(const std::vector<unsigned>& points, unsigned jobs,
   return 0;
 }
 
+/// The CI physics-smoke gate: one 10k-gate random flow (opt 1 round, T1 on)
+/// through run_flow with the embedded oracle. run_flow throws on an oracle
+/// failure, so the gate is simply "did the flow complete".
+int run_physics_smoke() {
+  const Network net = random_case(0xbada55 + 10000, 10000 / 16, 10000);
+  FlowParams p;
+  p.use_t1 = true;
+  p.opt.enable = true;
+  p.opt.rounds = 1;
+  p.opt.verify = false;  // the oracle itself is the end-to-end check here
+  p.physics_check = true;
+  try {
+    const FlowResult res = run_flow(net, p);
+    std::cout << "[physics-smoke] " << net.name() << ": " << res.physics.summary()
+              << " (" << std::fixed << std::setprecision(1)
+              << res.timings.physics_ms << " ms oracle, " << res.timings.total_ms
+              << " ms flow)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cout << "[physics-smoke] FAIL: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -322,6 +354,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool part_mode = false;
   bool part_smoke = false;
+  bool physics = false;
+  bool physics_smoke = false;
   bool points_overridden = false;
   unsigned part_jobs = 8;
   std::string json_path;
@@ -349,13 +383,20 @@ int main(int argc, char** argv) {
       part_jobs = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--part-smoke") == 0) {
       part_smoke = true;
+    } else if (std::strcmp(argv[i], "--physics") == 0) {
+      physics = true;
+    } else if (std::strcmp(argv[i], "--physics-smoke") == 0) {
+      physics_smoke = true;
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--points g1,g2,...] [--max-legacy-gates N] [--smoke]"
                    " [--json <path>] [--db <path>] [--part] [--part-jobs N]"
-                   " [--part-smoke]\n";
+                   " [--part-smoke] [--physics] [--physics-smoke]\n";
       return 2;
     }
+  }
+  if (physics_smoke) {
+    return run_physics_smoke();
   }
   const bool emit = !json_path.empty() || !db_path.empty();
   if (emit) {
@@ -474,6 +515,48 @@ int main(int argc, char** argv) {
       if (emit) {
         bench::capture_counters(rec);
         records.push_back(std::move(rec));
+      }
+
+      // Sampled physics validation: a full flow (opt off — the sweep above
+      // already measured it) through the pulse-level oracle on the random
+      // family, emitted as its own record so the physics_* metrics enter the
+      // trajectory without touching the race records.
+      if (physics && net.name().rfind("rand", 0) == 0) {
+        obs::Registry::instance().reset();
+        FlowParams fp;
+        fp.use_t1 = true;
+        const FlowResult fres = run_flow(net, fp);
+        const auto pt0 = std::chrono::steady_clock::now();
+        const auto report =
+            t1sfq::verify::physics_check(fres.physical, fp.clk, net);
+        const double pms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - pt0)
+                               .count();
+        if (!report.ok) {
+          std::cout << "FAIL: physics oracle on " << net.name() << ": "
+                    << report.summary() << "\n";
+          ok = false;
+        }
+        std::cout << std::setw(14) << (net.name() + ":phys") << std::setw(8)
+                  << fres.physical.net.num_gates() << std::setw(11) << pms
+                  << " ms (" << report.vectors << " vectors, min margin "
+                  << report.min_margin << ")\n";
+        if (emit) {
+          bench::BenchRecord prec;
+          prec.circuit = net.name();
+          prec.config = "physics 4phi t1 opt=off";
+          prec.metrics = {
+              {"physics_ok", report.ok ? 1 : 0},
+              {"physics_vectors", static_cast<int64_t>(report.vectors)},
+              {"physics_violations",
+               static_cast<int64_t>(report.timing_violations +
+                                    report.function_mismatches)},
+              {"physics_min_margin", report.min_margin},
+              {"physics_checked_edges", static_cast<int64_t>(report.checked_edges)}};
+          prec.time_ms = {{"physics", pms}, {"flow", fres.timings.total_ms}};
+          bench::capture_counters(prec);
+          records.push_back(std::move(prec));
+        }
       }
 
       // Smoke also snapshots the partition-parallel engine on the random

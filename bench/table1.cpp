@@ -18,8 +18,11 @@
 /// and a pulse-level simulation of the physical netlist (timing + function).
 ///
 /// Usage: table1 [--phases N] [--shrink K] [--no-verify] [--sat-budget C]
-///               [--opt] [--jobs N] [--json <path>] [--db <path>]
+///               [--opt] [--physics] [--jobs N] [--json <path>] [--db <path>]
 ///   --shrink K scales all benchmark widths down by K for quick runs.
+///   --physics runs the pulse-level physics oracle (verify/physics_check.hpp)
+///   on every flow result and adds physics_* fields to the emitted records;
+///   an oracle failure fails the run with the report's witness vector.
 ///   --sat-budget C caps the SAT proof at C conflicts per output (default
 ///   5000; simulation and pulse-level checks always run in full).
 ///   --opt runs all three flows behind the pre-mapping optimizer (src/opt/).
@@ -35,6 +38,7 @@
 ///   and the registry is process-wide.)
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -47,6 +51,7 @@
 #include "network/equivalence.hpp"
 #include "network/simulation.hpp"
 #include "sfq/pulse_sim.hpp"
+#include "verify/physics_check.hpp"
 
 using namespace t1sfq;
 
@@ -56,6 +61,7 @@ int main(int argc, char** argv) {
   unsigned jobs = 0;
   bool verify = true;
   bool opt = false;
+  bool physics = false;
   uint64_t sat_budget = 5000;
   std::string json_path;
   std::string db_path;
@@ -72,6 +78,8 @@ int main(int argc, char** argv) {
       verify = false;
     } else if (std::strcmp(argv[i], "--opt") == 0) {
       opt = true;
+    } else if (std::strcmp(argv[i], "--physics") == 0) {
+      physics = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
@@ -79,7 +87,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]"
-                   " [--opt] [--jobs N] [--json <path>] [--db <path>]\n";
+                   " [--opt] [--physics] [--jobs N] [--json <path>] [--db <path>]\n";
       return 2;
     }
   }
@@ -131,6 +139,33 @@ int main(int argc, char** argv) {
                        {"assign", res.timings.assign_ms},
                        {"insert", res.timings.insert_ms},
                        {"total", res.timings.total_ms}};
+
+        if (physics) {
+          // Run the oracle outside run_flow so a failure still emits the
+          // record (with physics_ok = 0) before failing the bench.
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto report = t1sfq::verify::physics_check(res.physical, p.clk, net);
+          const double ms =
+              std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                        t0)
+                  .count();
+          rec.metrics.push_back({"physics_ok", report.ok ? 1 : 0});
+          rec.metrics.push_back({"physics_vectors", static_cast<int64_t>(report.vectors)});
+          rec.metrics.push_back(
+              {"physics_violations", static_cast<int64_t>(report.timing_violations +
+                                                          report.function_mismatches)});
+          rec.metrics.push_back({"physics_min_margin", report.min_margin});
+          rec.time_ms.push_back({"physics", ms});
+          if (!report.ok) {
+            log << "[table1] PHYSICS ORACLE FAILED for " << c.name << " (" << flow_name
+                << "): " << report.summary() << "\n";
+            all_ok = false;
+          } else {
+            log << "[table1] " << c.name << " (" << flow_name << ") physics oracle: "
+                << report.vectors << " vectors, min margin " << report.min_margin
+                << "\n";
+          }
+        }
 
         if (flow == 2 && verify) {
           // Random word-parallel simulation (2048 vectors) is the falsifier;

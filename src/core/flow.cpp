@@ -131,6 +131,21 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
   // Depth in cycles: epoch of the last real firing (the virtual PO sink sits
   // one stage after the deepest balanced element).
   result.metrics.depth_cycles = params.clk.cycles(result.assignment.output_stage - 1);
+
+  if (params.physics_check) {
+    obs::Span span("flow.physics");
+    const Clock::time_point t0 = Clock::now();
+    // Golden = the flow's *input*: the oracle then covers cleanup, opt, T1
+    // rewrite, assignment and DFF insertion end to end, not just the last
+    // stage.
+    result.physics = verify::physics_check(result.physical, params.clk, input,
+                                           params.physics);
+    result.timings.physics_ms = ms_since(t0);
+    if (!result.physics.ok) {
+      throw std::runtime_error("run_flow: " + result.physics.summary());
+    }
+  }
+
   result.timings.total_ms = ms_since(t_flow);
   obs::count("flow.runs");
   return result;

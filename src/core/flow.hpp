@@ -22,6 +22,7 @@
 #include "opt/pass.hpp"
 #include "sfq/cell_library.hpp"
 #include "sfq/clocking.hpp"
+#include "verify/physics_check.hpp"
 
 namespace t1sfq {
 
@@ -49,6 +50,16 @@ struct FlowParams {
   /// The environment variable `T1SFQ_TRACE` enables recording process-wide
   /// regardless of this flag.
   bool obs = false;
+  /// Run the pulse-level physics oracle (verify/physics_check.hpp) on the
+  /// final physical netlist against the flow's input network. A failing
+  /// oracle makes run_flow throw std::runtime_error carrying the report
+  /// summary (witness vector included); the report itself lands in
+  /// FlowResult::physics either way. Off by default: it simulates hundreds
+  /// of pulse waves and is meant for verification runs, not inner loops.
+  bool physics_check = false;
+  /// Oracle knobs (vector counts, seed, device probe) when physics_check is
+  /// on.
+  verify::PhysicsCheckParams physics{};
 
   /// The unified JJ cost model every stage of this flow prices against.
   CostModel cost() const { return CostModel(lib, area, clk); }
@@ -86,6 +97,7 @@ struct FlowTimings {
   double detect_ms = 0.0;
   double assign_ms = 0.0;
   double insert_ms = 0.0;
+  double physics_ms = 0.0;  ///< 0 unless FlowParams::physics_check
   double total_ms = 0.0;
 };
 
@@ -96,6 +108,10 @@ struct FlowResult {
   FlowMetrics metrics;
   OptSummary opt;           ///< per-pass optimization statistics
   FlowTimings timings;      ///< wall time per stage (never golden-compared)
+  /// Physics-oracle report (ran == false unless FlowParams::physics_check).
+  /// Kept OUT of FlowMetrics: golden tests compare FlowMetrics byte-for-byte
+  /// and the oracle is an optional overlay, not a Table-I metric.
+  verify::PhysicsReport physics;
 };
 
 /// Runs the flow. Throws std::invalid_argument when `use_t1` is combined with

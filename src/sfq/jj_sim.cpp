@@ -29,6 +29,9 @@ void Circuit::add_resistor(int a, int b, double ohms) {
 void Circuit::add_capacitor(int a, int b, double farads) {
   check_node(a, num_nodes_, "add_capacitor");
   check_node(b, num_nodes_, "add_capacitor");
+  if (farads <= 0) {
+    throw std::invalid_argument("add_capacitor: nonpositive capacitance");
+  }
   capacitors_.push_back({a, b, farads});
 }
 
@@ -109,6 +112,12 @@ bool solve_dense(std::vector<double>& a, std::vector<double>& rhs, int n) {
 }  // namespace
 
 TransientResult simulate(const Circuit& ckt, const TransientParams& params) {
+  if (params.dt <= 0 || params.t_end < params.dt) {
+    throw std::invalid_argument("simulate: need 0 < dt <= t_end");
+  }
+  if (params.record_every == 0) {
+    throw std::invalid_argument("simulate: record_every must be >= 1");
+  }
   const int nn = ckt.num_nodes();          // node 0 = ground
   const int nl = static_cast<int>(ckt.inductors().size());
   const int nv = (nn - 1) + nl;            // unknowns: node voltages + inductor currents

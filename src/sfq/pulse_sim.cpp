@@ -4,6 +4,7 @@
 #include <array>
 #include <random>
 #include <sstream>
+#include <stdexcept>
 
 #include "network/simulation.hpp"
 
@@ -46,9 +47,34 @@ std::string TimingViolation::describe() const {
   return os.str();
 }
 
+std::vector<Stage> release_stages(const Network& net, const std::vector<Stage>& stage) {
+  if (stage.size() < net.size()) {
+    throw std::invalid_argument("release_stages: stage vector smaller than network");
+  }
+  std::vector<Stage> release(net.size(), 0);
+  for (const NodeId id : net.topo_order()) {
+    const Node& node = net.node(id);
+    switch (node.type) {
+      case GateType::Buf:
+      case GateType::T1Port:
+        release[id] = release[node.fanin(0)];  // passive pin: no re-timing
+        break;
+      default:
+        release[id] = stage[id];
+    }
+  }
+  return release;
+}
+
 PulseSimResult pulse_simulate(const Network& net, const std::vector<Stage>& stage,
                               const MultiphaseConfig& clk,
                               const std::vector<bool>& pi_values) {
+  if (stage.size() < net.size()) {
+    throw std::invalid_argument("pulse_simulate: stage vector smaller than network");
+  }
+  if (pi_values.size() != net.num_pis()) {
+    throw std::invalid_argument("pulse_simulate: PI value count != num_pis()");
+  }
   PulseSimResult result;
   const Stage n = static_cast<Stage>(clk.phases);
 

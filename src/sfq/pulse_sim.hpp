@@ -73,8 +73,17 @@ struct PulseSimResult {
   bool ok() const { return violations.empty(); }
 };
 
+/// Release stage of every node under \p stage: the stage at which its pulse
+/// leaves the element. Buf (JTL) and T1Port entries inherit their source's
+/// release — they are passive pins, not clocked elements; everything else
+/// releases at its own stage. Shared by the simulator and the phase-margin
+/// scan of verify/physics_check.hpp so both agree on arrival arithmetic.
+std::vector<Stage> release_stages(const Network& net, const std::vector<Stage>& stage);
+
 /// Simulates one data wave. \p stage must assign a stage to every live node
 /// (PIs typically at 0; T1Port/Buf entries are ignored — they inherit).
+/// Throws std::invalid_argument when \p stage or \p pi_values is undersized
+/// (both were previously silent out-of-bounds reads).
 PulseSimResult pulse_simulate(const Network& net, const std::vector<Stage>& stage,
                               const MultiphaseConfig& clk, const std::vector<bool>& pi_values);
 

@@ -1,0 +1,108 @@
+#pragma once
+/// \file physics_check.hpp
+/// \brief Flow oracle: pulse-level end-to-end verification of assigned
+/// schedules (docs/PHYSICS.md).
+///
+/// Every invariant the flow proves structurally — SAT equivalence,
+/// never-deepen depth guards, plan-exact DFF counts — says nothing about
+/// whether a flow-output netlist, clocked per the multiphase assignment
+/// (paper eq. 1/3/5), actually delivers pulses in the phases the scheduler
+/// assigned. `physics_check` closes that loop: it lowers the physical
+/// netlist (gates, path-balancing DFF chains, T1 cells with their landing
+/// slots, JTL Bufs) into the pulse-level model of sfq/pulse_sim.hpp, drives
+/// it with directed, hazard-targeted and seeded-random input vectors, and
+/// asserts
+///
+///   (a) every data pulse arrives at each clocked element strictly inside
+///       its assigned phase window (0 < σc − σp ≤ n; T1 inputs strictly
+///       inside the T1's cycle at pairwise distinct stages — eq. 3/5),
+///   (b) primary-output pulse patterns match the word-parallel logic
+///       simulation of the golden network on every vector,
+///   (c) hazard-freedom on `examples/hazard_lab.cpp`-style glitch cases:
+///       vectors crafted to pulse all (and each pair of) data inputs of
+///       sampled T1 bodies simultaneously.
+///
+/// The report carries the per-edge phase-margin histogram (how close each
+/// arrival sits to its window boundaries, in stages), the minimum margin,
+/// and — on the first failure — a witness input vector plus the violation
+/// that fired. When observability is on (src/obs/), the margins land in the
+/// `verify.phase_margin_stages` histogram and the verdict in `verify.*`
+/// counters.
+///
+/// An optional device probe cross-checks the pulse-level model's two
+/// physical premises against the analog RCSJ layer (sfq/jj_sim.hpp): a JTL
+/// propagates exactly one SFQ pulse per stage in causal order, and a
+/// bistable storage loop holds a flux quantum after a write — the storage
+/// principle behind the T1 state machine (paper Fig. 1a).
+///
+/// Wired into the flow behind `FlowParams::physics_check` and into
+/// bench/table1 + bench/scaling as `--physics`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dff_insertion.hpp"
+#include "network/network.hpp"
+#include "sfq/clocking.hpp"
+
+namespace t1sfq {
+namespace verify {
+
+struct PhysicsCheckParams {
+  /// Seeded random input vectors driven through the pulse-level model.
+  unsigned random_vectors = 128;
+  uint64_t seed = 0x7ab5;
+  /// Directed vectors: all-zero, all-one, alternating, and a bounded
+  /// walking-one sweep over the first `max_walking_ones` PIs.
+  bool directed_vectors = true;
+  unsigned max_walking_ones = 32;
+  /// Hazard-lab-style glitch cases: for up to `max_hazard_t1` sampled T1
+  /// bodies, vectors that raise every PI in the transitive fanin cone of all
+  /// three (and each pair of) data inputs — the all-inputs-pulse pattern
+  /// whose overlap the staggered landing slots must absorb.
+  bool hazard_vectors = true;
+  unsigned max_hazard_t1 = 32;
+  /// Analog cross-check of the pulse-level model via the RCSJ layer
+  /// (jj_sim.hpp): JTL propagation + storage-loop retention. Adds a few ms;
+  /// off by default inside flows.
+  bool device_probe = false;
+};
+
+struct PhysicsReport {
+  bool ran = false;  ///< distinguishes "not requested" from a real verdict
+  bool ok = false;
+  std::size_t vectors = 0;            ///< input vectors simulated
+  std::size_t hazard_cases = 0;       ///< of which hazard-targeted
+  std::size_t timing_violations = 0;  ///< window/collision violations (static)
+  std::size_t function_mismatches = 0;  ///< PO patterns != golden simulation
+  /// Phase margins: per clocked-consumer edge, the distance (in stages) from
+  /// the arrival to the nearest window boundary. `margin_histogram[m]` counts
+  /// edges at margin m (clamped to the last bucket); violating edges are
+  /// counted in `timing_violations`, not here.
+  std::vector<uint64_t> margin_histogram;
+  int64_t min_margin = 0;       ///< tightest edge (0 = zero-slack arrival)
+  std::size_t checked_edges = 0;
+  // First failure, if any.
+  bool has_witness = false;
+  std::vector<bool> witness;    ///< PI vector of the first failing case
+  std::string witness_kind;     ///< "timing" | "function" | "hazard"
+  std::string first_violation;  ///< describe() of the first timing violation
+  // Device probe verdicts (only meaningful when device_probe_ran).
+  bool device_probe_ran = false;
+  bool device_probe_ok = true;
+
+  /// One-line human-readable verdict (witness included on failure).
+  std::string summary() const;
+};
+
+/// Runs the oracle on a physical netlist against \p golden (the flow's input
+/// network; PI/PO order must match, as run_flow guarantees). Never throws on
+/// a failing schedule — failures are reported; throws std::invalid_argument
+/// on malformed inputs (PI/PO count mismatch, undersized stage vector).
+PhysicsReport physics_check(const PhysicalNetlist& phys, const MultiphaseConfig& clk,
+                            const Network& golden,
+                            const PhysicsCheckParams& params = {});
+
+}  // namespace verify
+}  // namespace t1sfq

@@ -311,6 +311,68 @@ TEST(IncrementalView, DetectionAdoptsCallerViewAndHandsItBackValid) {
   }
 }
 
+TEST(IncrementalView, PartitionMergeDetectAssignComposedWithMidFlowCleanup) {
+  // Cross-subsystem regression for the PR-6 detect→assign shared-view path:
+  // partition-parallel optimization reshapes the network, a caller-owned view
+  // is rebound through an explicit mid-flow compaction (rebind_after_cleanup),
+  // detection adopts that same view (rebinding it again through its own final
+  // compaction), and the scheduler is seeded from the maintained state. The
+  // whole composition must land on exactly the schedule the view-free
+  // reference pipeline computes.
+  const CostModel model = default_model();
+  for (const uint64_t seed : {21ull, 84ull}) {
+    const Network input =
+        bench::random_network(seed, 8, 400, bench::RandomPoPolicy::SampleDeepest,
+                              /*plant_cone_every=*/10)
+            .cleanup();
+
+    OptParams op;
+    op.clk = MultiphaseConfig{4};
+    op.partition_jobs = 3;
+    op.partition_min_gates = 1;  // force the partition/merge path at this size
+    op.partition_max_region = 48;
+
+    // Reference: partitioned optimize, private-view detection, scratch-seeded
+    // scheduler.
+    Network ref_net = input;
+    optimize(ref_net, op);
+    T1DetectionParams det;
+    detect_and_replace_t1(ref_net, model, det);
+    PhaseAssignmentParams pp;
+    pp.clk = MultiphaseConfig{4};
+    const PhaseAssignment ref = assign_phases(ref_net, pp);
+    ASSERT_TRUE(ref.feasible);
+
+    // Composed path under test.
+    Network net = input;
+    optimize(net, op);
+    IncrementalView view(net, model, /*track_plan=*/true);
+    std::vector<NodeId> old_to_new;
+    net = net.cleanup(&old_to_new);  // cleanup mid-flow, before detection
+    view.rebind_after_cleanup(old_to_new);
+    expect_matches_scratch(view, net, model);
+
+    const T1DetectionStats stats = detect_and_replace_t1(net, model, det, &view);
+    expect_matches_scratch(view, net, model);
+    const PhaseAssignment got = assign_phases(view, pp);
+
+    // Same physical outcome as the reference pipeline, node for node.
+    ASSERT_EQ(net.size(), ref_net.size());
+    for (NodeId id = 0; id < net.size(); ++id) {
+      ASSERT_EQ(net.node(id).type, ref_net.node(id).type);
+    }
+    EXPECT_TRUE(got.feasible);
+    EXPECT_EQ(got.stage, ref.stage);
+    EXPECT_EQ(got.output_stage, ref.output_stage);
+    // The explicit compaction plus detection's final compaction both went
+    // through the translate-don't-rebuild path.
+    EXPECT_GE(view.view_stats().rebinds, stats.used > 0 ? 2u : 1u);
+
+    // End to end, the composition preserved the function of the input.
+    EXPECT_TRUE(random_simulation_equal(net, input));
+  }
+}
+
 TEST(IncrementalView, LegacyFullRecomputeModeKeepsIdenticalState) {
   const CostModel model = default_model();
   Network a = testutil::random_network(11, 8, 100).cleanup();

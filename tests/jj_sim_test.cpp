@@ -189,7 +189,30 @@ TEST(JjSim, BuilderValidation) {
   EXPECT_THROW(c.add_resistor(0, 5, 10.0), std::invalid_argument);
   EXPECT_THROW(c.add_resistor(0, 0, -1.0), std::invalid_argument);
   EXPECT_THROW(c.add_inductor(0, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_capacitor(0, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_capacitor(0, 0, -1e-15), std::invalid_argument);
   EXPECT_THROW(make_jtl(0), std::invalid_argument);
+}
+
+TEST(JjSim, TransientParamValidation) {
+  // Degenerate step parameters previously went unchecked: dt <= 0 looped
+  // forever or not at all, and record_every == 0 divided by zero.
+  Circuit c;
+  const int n = c.add_node();
+  c.add_resistor(n, 0, 1.0);
+  TransientParams p;
+  p.dt = 0.0;
+  EXPECT_THROW(simulate(c, p), std::invalid_argument);
+  p.dt = -1e-12;
+  EXPECT_THROW(simulate(c, p), std::invalid_argument);
+  p.dt = 1e-12;
+  p.t_end = 0.5e-12;  // shorter than one step
+  EXPECT_THROW(simulate(c, p), std::invalid_argument);
+  p.t_end = 10e-12;
+  p.record_every = 0;
+  EXPECT_THROW(simulate(c, p), std::invalid_argument);
+  p.record_every = 4;
+  EXPECT_TRUE(simulate(c, p).converged);  // thinning still works
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "network/simulation.hpp"
 
 namespace t1sfq {
@@ -189,6 +191,127 @@ TEST(PulseSim, PulseVerifyAcceptsLegalSchedule) {
   const NodeId b = golden.add_pi();
   golden.add_po(golden.add_or(a, b));  // xor|and == or
   EXPECT_TRUE(pulse_verify(net, stage, MultiphaseConfig{4}, golden, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Timing-margin edge cases (physics-oracle audit).
+// ---------------------------------------------------------------------------
+
+TEST(PulseSim, ZeroSlackArrivalAtWindowEdgeIsLegal) {
+  // gap == n is the last legal arrival (one full clock window, zero slack);
+  // gap == n + 1 meets the next wave. The boundary must be inclusive.
+  std::vector<Stage> stage;
+  const Network net = small_net(stage, 4);
+  stage[net.po(0)] = 5;  // fanins release at 1: gap exactly n = 4
+  EXPECT_TRUE(pulse_simulate(net, stage, MultiphaseConfig{4}, {true, true}).ok());
+  stage[net.po(0)] = 6;  // gap 5 > n
+  const auto res = pulse_simulate(net, stage, MultiphaseConfig{4}, {true, true});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violations[0].kind, ViolationKind::GapExceedsWindow);
+}
+
+TEST(PulseSim, SinglePhaseEveryEdgeIsZeroSlack) {
+  // n = 1: the only legal gap is exactly 1 — every edge sits at both window
+  // boundaries simultaneously and must still be accepted.
+  std::vector<Stage> stage;
+  Network net = small_net(stage, 1);
+  stage[net.po(0)] = 2;  // consumer one stage after its fanins at 1
+  EXPECT_TRUE(pulse_simulate(net, stage, MultiphaseConfig{1}, {true, false}).ok());
+}
+
+TEST(PulseSim, T1WindowBoundariesAreStrict) {
+  // Unlike ordinary cells, both T1 window edges are exclusive: an input
+  // landing exactly at σ − n collides with the previous R readout, one at σ
+  // with the current one. σ − n + 1 is the earliest legal slot.
+  std::vector<Stage> stage;
+  const MultiphaseConfig clk{4};
+  {
+    const Network net = t1_net(stage, 4, 2, 3, 8);  // arrival == σ − n
+    const auto res = pulse_simulate(net, stage, clk, {true, false, false});
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.violations[0].kind, ViolationKind::T1InputOutsideCycle);
+  }
+  {
+    const Network net = t1_net(stage, 5, 6, 7, 8);  // slots 3, 2, 1: all legal
+    for (std::size_t i = 0; i < 3; ++i) {
+      stage[net.pi(i)] = static_cast<Stage>(1 + i);  // keep PI->DFF gaps <= n
+    }
+    EXPECT_TRUE(pulse_simulate(net, stage, clk, {true, true, true}).ok());
+  }
+}
+
+TEST(PulseSim, BackToBackPulsesAtT1AreOrderedCorrectly) {
+  // Three pulses at consecutive stages (back-to-back, the tightest legal
+  // packing) drive the state machine in arrival order: parity and majority
+  // must match regardless of which PI feeds which slot.
+  std::vector<Stage> stage;
+  const Network net = t1_net(stage, 7, 5, 6, 8);  // arrival order: b, c, a
+  stage[net.pi(0)] = 3;  // keep the PI->DFF feed edges within one window
+  stage[net.pi(1)] = 1;
+  stage[net.pi(2)] = 2;
+  const MultiphaseConfig clk{4};
+  for (unsigned m = 0; m < 8; ++m) {
+    const std::vector<bool> pis{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    const auto res = pulse_simulate(net, stage, clk, pis);
+    EXPECT_TRUE(res.ok()) << m;
+    const unsigned ones = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+    EXPECT_EQ(res.po_values[0], ones % 2 == 1) << m;  // Sum
+    EXPECT_EQ(res.po_values[1], ones >= 2) << m;      // Carry
+    EXPECT_EQ(res.po_values[2], ones >= 1) << m;      // Or
+  }
+}
+
+TEST(PulseSim, T1PortFeedsDownstreamWithBodyReleaseStage) {
+  // A consumer clocked off a T1 port sees the *body's* release stage (the
+  // port is a passive pin): gap arithmetic must use it, not the port's
+  // (unassigned) stage entry.
+  std::vector<Stage> stage;
+  Network net = t1_net(stage, 1, 2, 3, 4);
+  const NodeId sum = net.po(0);
+  const NodeId g = net.add_buf(sum);
+  const NodeId h = net.add_gate(GateType::Not, {g});
+  net.add_po(h);
+  stage.resize(net.size(), 0);
+  stage[h] = 8;  // body releases at 4: gap exactly n through port + buf
+  EXPECT_TRUE(pulse_simulate(net, stage, MultiphaseConfig{4}, {true, false, false}).ok());
+  stage[h] = 9;  // gap 5 — the inherited release must flag this
+  const auto res = pulse_simulate(net, stage, MultiphaseConfig{4}, {true, false, false});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violations[0].kind, ViolationKind::GapExceedsWindow);
+  EXPECT_EQ(res.violations[0].producer, 4);
+}
+
+TEST(PulseSim, ReleaseStagesInheritThroughPassivePins) {
+  std::vector<Stage> stage;
+  Network net = t1_net(stage, 1, 2, 3, 4);
+  const NodeId buf = net.add_buf(net.po(0));  // port -> buf chain
+  net.add_po(buf);
+  stage.resize(net.size(), 0);
+  const auto release = release_stages(net, stage);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    switch (net.node(id).type) {
+      case GateType::Buf:
+      case GateType::T1Port:
+        EXPECT_EQ(release[id], release[net.node(id).fanin(0)]) << id;
+        break;
+      default:
+        EXPECT_EQ(release[id], stage[id]) << id;
+    }
+  }
+  EXPECT_EQ(release[buf], 4);  // body stage, through two passive pins
+}
+
+TEST(PulseSim, UndersizedInputsThrow) {
+  std::vector<Stage> stage;
+  const Network net = small_net(stage, 4);
+  const MultiphaseConfig clk{4};
+  std::vector<Stage> short_stage(net.size() - 1, 0);
+  EXPECT_THROW(pulse_simulate(net, short_stage, clk, {true, false}),
+               std::invalid_argument);
+  EXPECT_THROW(pulse_simulate(net, stage, clk, {true}), std::invalid_argument);
+  EXPECT_THROW(pulse_simulate(net, stage, clk, {true, false, true}),
+               std::invalid_argument);
+  EXPECT_THROW(release_stages(net, short_stage), std::invalid_argument);
 }
 
 TEST(PulseSim, PulseVerifyRejectsWrongGolden) {

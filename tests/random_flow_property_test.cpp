@@ -1,7 +1,10 @@
 /// Property-based testing of the whole flow on randomly generated networks:
 /// for any random DAG of SFQ cells and any phase count, the flow must emit a
 /// functionally equivalent, timing-legal physical netlist whose DFF count
-/// matches the scheduler's plan (up to landing-DFF sharing).
+/// matches the scheduler's plan (up to landing-DFF sharing). Every third seed
+/// additionally runs the pulse-level physics oracle (verify/physics_check.hpp)
+/// end to end, including partition-parallel and schedule-aware-guard
+/// optimization pipelines.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +12,7 @@
 #include "network/equivalence.hpp"
 #include "random_network_test_util.hpp"
 #include "sfq/pulse_sim.hpp"
+#include "verify/physics_check.hpp"
 
 namespace t1sfq {
 namespace {
@@ -19,17 +23,34 @@ struct RandomCase {
   uint64_t seed;
   unsigned phases;
   bool use_t1;
+  /// >= 2 exercises the partition-parallel optimizer (thresholds forced low
+  /// so the small random networks actually partition).
+  unsigned partition_jobs = 0;
+  /// Forces the schedule-aware guard onto its incremental-anchor path by
+  /// disabling the measured ASAP-only probe.
+  bool no_guard_probe = false;
 };
 
 class RandomFlow : public ::testing::TestWithParam<RandomCase> {};
 
 TEST_P(RandomFlow, FlowInvariantsHold) {
-  const auto [seed, phases, use_t1] = GetParam();
+  const RandomCase& c = GetParam();
+  const uint64_t seed = c.seed;
   const Network net = random_network(seed, 6 + seed % 5, 40 + seed % 60);
 
   FlowParams p;
-  p.clk.phases = phases;
-  p.use_t1 = use_t1;
+  p.clk.phases = c.phases;
+  p.use_t1 = c.use_t1;
+  if (c.partition_jobs >= 2) {
+    p.opt.enable = true;
+    p.opt.partition_jobs = c.partition_jobs;
+    p.opt.partition_min_gates = 1;   // the 40-100 gate networks must partition
+    p.opt.partition_max_region = 24;
+  }
+  if (c.no_guard_probe) {
+    p.opt.enable = true;
+    p.detection.guard_probe_max_gates = 0;  // incremental-anchor guard path
+  }
   const FlowResult res = run_flow(net, p);
 
   // 1. Function preserved (complete SAT proof: these are small networks).
@@ -57,6 +78,20 @@ TEST_P(RandomFlow, FlowInvariantsHold) {
     EXPECT_NE(st[n.fanin(1)], st[n.fanin(2)]);
     EXPECT_NE(st[n.fanin(0)], st[n.fanin(2)]);
   }
+
+  // 5. Every third seed: the full physics oracle (directed + hazard + random
+  //    vectors, phase-margin scan) — deterministic sampling keeps the suite
+  //    fast while every pipeline shape still gets end-to-end coverage.
+  if (seed % 3 == 0) {
+    verify::PhysicsCheckParams pp;
+    pp.random_vectors = 24;
+    pp.seed = seed;  // deterministic per case
+    pp.max_hazard_t1 = 8;
+    const auto report = verify::physics_check(res.physical, p.clk, net, pp);
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": " << report.summary();
+    EXPECT_GT(report.vectors, 0u);
+    EXPECT_GE(report.min_margin, 0) << "seed " << seed;
+  }
 }
 
 std::vector<RandomCase> random_cases() {
@@ -69,6 +104,15 @@ std::vector<RandomCase> random_cases() {
   }
   for (uint64_t seed = 19; seed <= 24; ++seed) {
     cases.push_back({seed, 5 + static_cast<unsigned>(seed % 3), true});
+  }
+  // Partition-parallel optimization (PR 6 path) under the same invariants;
+  // seeds divisible by 3 included so the physics oracle covers it too.
+  for (uint64_t seed = 25; seed <= 30; ++seed) {
+    cases.push_back({seed, 4, true, /*partition_jobs=*/2 + seed % 3});
+  }
+  // Schedule-aware guard on its incremental-anchor (probe-free) path.
+  for (uint64_t seed = 31; seed <= 36; ++seed) {
+    cases.push_back({seed, 4, true, /*partition_jobs=*/0, /*no_guard_probe=*/true});
   }
   return cases;
 }
