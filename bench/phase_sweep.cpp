@@ -18,6 +18,7 @@
 #include <iostream>
 #include <string>
 
+#include "benchmarks/argparse.hpp"
 #include "benchmarks/record.hpp"
 #include "benchmarks/runner.hpp"
 #include "benchmarks/suite.hpp"
@@ -30,23 +31,13 @@ int main(int argc, char** argv) {
   unsigned jobs = 0;
   std::string json_path;
   std::string db_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--shrink") == 0 && i + 1 < argc) {
-      shrink = static_cast<unsigned>(std::stoul(argv[++i]));
-    } else if (std::strcmp(argv[i], "--full") == 0) {
-      shrink = 1;
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
-      db_path = argv[++i];
-    } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--shrink K] [--full] [--jobs N] [--json <path>] [--db <path>]\n";
-      return 2;
-    }
-  }
+  bench::ArgParser args("bench_phase_sweep");
+  args.uint_opt("--shrink", &shrink, "K", "shrink benchmark widths by K")
+      .preset("--full", &shrink, 1, "full-width benchmarks (shrink 1)")
+      .uint_opt("--jobs", &jobs, "N", "parallel rows (0 = hardware)")
+      .string_opt("--json", &json_path, "path", "write records as JSON")
+      .string_opt("--db", &db_path, "path", "append records to result DB");
+  if (!args.parse(argc, argv)) return 2;
   const auto suite = shrink > 1 ? bench::make_suite_scaled(shrink) : bench::make_suite();
 
   std::cout << "Phase-count ablation (widths shrunk by " << shrink << ")\n";

@@ -76,6 +76,7 @@
 #include <string>
 #include <vector>
 
+#include "benchmarks/argparse.hpp"
 #include "benchmarks/arith.hpp"
 #include "benchmarks/random_net.hpp"
 #include "benchmarks/record.hpp"
@@ -360,40 +361,23 @@ int main(int argc, char** argv) {
   unsigned part_jobs = 8;
   std::string json_path;
   std::string db_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
-      points.clear();
-      points_overridden = true;
-      std::stringstream ss(argv[++i]);
-      std::string tok;
-      while (std::getline(ss, tok, ',')) {
-        points.push_back(static_cast<unsigned>(std::stoul(tok)));
-      }
-    } else if (std::strcmp(argv[i], "--max-legacy-gates") == 0 && i + 1 < argc) {
-      max_legacy = static_cast<unsigned>(std::stoul(argv[++i]));
-    } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
-      db_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--part") == 0) {
-      part_mode = true;
-    } else if (std::strcmp(argv[i], "--part-jobs") == 0 && i + 1 < argc) {
-      part_jobs = static_cast<unsigned>(std::stoul(argv[++i]));
-    } else if (std::strcmp(argv[i], "--part-smoke") == 0) {
-      part_smoke = true;
-    } else if (std::strcmp(argv[i], "--physics") == 0) {
-      physics = true;
-    } else if (std::strcmp(argv[i], "--physics-smoke") == 0) {
-      physics_smoke = true;
-    } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--points g1,g2,...] [--max-legacy-gates N] [--smoke]"
-                   " [--json <path>] [--db <path>] [--part] [--part-jobs N]"
-                   " [--part-smoke] [--physics] [--physics-smoke]\n";
-      return 2;
-    }
+  std::vector<unsigned> points_arg;
+  bench::ArgParser args("bench_scaling");
+  args.uint_list("--points", &points_arg, "g1,g2,...", "gate counts to sweep")
+      .uint_opt("--max-legacy-gates", &max_legacy, "N",
+                "largest point the legacy path still runs")
+      .flag("--smoke", &smoke, "small fixed points for CI")
+      .string_opt("--json", &json_path, "path", "write records as JSON")
+      .string_opt("--db", &db_path, "path", "append records to result DB")
+      .flag("--part", &part_mode, "partition-parallel optimizer comparison")
+      .uint_opt("--part-jobs", &part_jobs, "N", "partition worker threads")
+      .flag("--part-smoke", &part_smoke, "small partition comparison for CI")
+      .flag("--physics", &physics, "physics oracle on each scaling point")
+      .flag("--physics-smoke", &physics_smoke, "physics oracle smoke run for CI");
+  if (!args.parse(argc, argv)) return 2;
+  if (!points_arg.empty()) {
+    points = points_arg;
+    points_overridden = true;
   }
   if (physics_smoke) {
     return run_physics_smoke();

@@ -25,6 +25,7 @@
 #include <iostream>
 #include <utility>
 
+#include "benchmarks/argparse.hpp"
 #include "benchmarks/arith.hpp"
 #include "benchmarks/epfl.hpp"
 #include "benchmarks/iscas.hpp"
@@ -55,19 +56,11 @@ int main(int argc, char** argv) {
   unsigned jobs = 1;  // timing bench: parallel rows distort the ms columns
   std::string json_path;
   std::string db_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
-      db_path = argv[++i];
-    } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--jobs N] [--json <path>] [--db <path>]\n";
-      return 2;
-    }
-  }
+  bench::ArgParser args("bench_solver_ablation");
+  args.uint_opt("--jobs", &jobs, "N", "parallel rows (1: undistorted timings)")
+      .string_opt("--json", &json_path, "path", "write records as JSON")
+      .string_opt("--db", &db_path, "path", "append records to result DB");
+  if (!args.parse(argc, argv)) return 2;
 
   std::cout << "Phase-assignment engine ablation (4 phases)\n";
   std::cout << std::setw(16) << "circuit" << std::setw(8) << "gates" << std::setw(6)

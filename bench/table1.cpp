@@ -43,6 +43,7 @@
 #include <iostream>
 #include <string>
 
+#include "benchmarks/argparse.hpp"
 #include "benchmarks/record.hpp"
 #include "benchmarks/runner.hpp"
 #include "benchmarks/suite.hpp"
@@ -65,32 +66,19 @@ int main(int argc, char** argv) {
   uint64_t sat_budget = 5000;
   std::string json_path;
   std::string db_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
-      phases = static_cast<unsigned>(std::stoul(argv[++i]));
-    } else if (std::strcmp(argv[i], "--shrink") == 0 && i + 1 < argc) {
-      shrink = static_cast<unsigned>(std::stoul(argv[++i]));
-    } else if (std::strcmp(argv[i], "--sat-budget") == 0 && i + 1 < argc) {
-      sat_budget = std::stoull(argv[++i]);
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
-    } else if (std::strcmp(argv[i], "--no-verify") == 0) {
-      verify = false;
-    } else if (std::strcmp(argv[i], "--opt") == 0) {
-      opt = true;
-    } else if (std::strcmp(argv[i], "--physics") == 0) {
-      physics = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
-      db_path = argv[++i];
-    } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--phases N] [--shrink K] [--no-verify] [--sat-budget C]"
-                   " [--opt] [--physics] [--jobs N] [--json <path>] [--db <path>]\n";
-      return 2;
-    }
-  }
+  bool no_verify = false;
+  bench::ArgParser args("bench_table1");
+  args.uint_opt("--phases", &phases, "N", "clock phases")
+      .uint_opt("--shrink", &shrink, "K", "shrink benchmark widths by K")
+      .u64_opt("--sat-budget", &sat_budget, "C", "SAT conflict budget for verification")
+      .uint_opt("--jobs", &jobs, "N", "parallel rows (0 = hardware)")
+      .flag("--no-verify", &no_verify, "skip SAT/pulse verification")
+      .flag("--opt", &opt, "enable pre-mapping optimization")
+      .flag("--physics", &physics, "run the pulse-level oracle per flow")
+      .string_opt("--json", &json_path, "path", "write records as JSON")
+      .string_opt("--db", &db_path, "path", "append records to result DB");
+  if (!args.parse(argc, argv)) return 2;
+  verify = !no_verify;
 
   const auto suite = shrink > 1 ? bench::make_suite_scaled(shrink) : bench::make_suite();
   std::vector<TableRow> rows(suite.size());

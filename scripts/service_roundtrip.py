@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the synthesis daemon over the stdio transport.
+
+Drives the built daemon (``t1sfqd --stdio``) through one full client
+conversation using nothing but the wire contract (docs/SERVICE.md): 4-byte
+big-endian length prefix + UTF-8 JSON, schema ``t1sfq-flow-v1``.
+
+    ping                     -> pong
+    flow  (inline BLIF)      -> ok, tier "cold", a nonzero cache key
+    flow  (same frame again) -> ok, tier "warm", the SAME cache key
+    flow  (malformed BLIF)   -> ok:false structured error; daemon survives
+    stats                    -> counts the traffic above
+    shutdown                 -> acknowledged; daemon exits 0
+
+This intentionally does not link the C++ codecs: a second, independent
+implementation of the framing catches byte-order or length bugs the in-process
+tests cannot see. Usage: scripts/service_roundtrip.py path/to/t1sfqd
+"""
+
+import json
+import os
+import struct
+import subprocess
+import sys
+import tempfile
+
+BLIF = """\
+.model roundtrip
+.inputs a b c
+.outputs f
+.names a b ab
+11 1
+.names ab c f
+1- 1
+-1 1
+.end
+"""
+
+
+def frame(payload: dict) -> bytes:
+    data = json.dumps(payload).encode()
+    return struct.pack(">I", len(data)) + data
+
+
+def read_frame(stream) -> dict:
+    head = stream.read(4)
+    if len(head) != 4:
+        raise SystemExit("daemon closed the stream mid-conversation")
+    (n,) = struct.unpack(">I", head)
+    data = stream.read(n)
+    if len(data) != n:
+        raise SystemExit(f"truncated frame: announced {n}, got {len(data)}")
+    return json.loads(data)
+
+
+def expect(cond: bool, what: str, got) -> None:
+    if not cond:
+        raise SystemExit(f"FAIL: {what} (got: {json.dumps(got)[:300]})")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    # A fresh cache directory makes the cold -> warm progression deterministic:
+    # the daemon's warm blobs survive restarts by design, so a shared cache
+    # (a developer machine, the CI cache) would serve the "first" flow warm.
+    cache_dir = tempfile.mkdtemp(prefix="t1sfq-roundtrip-")
+    daemon = subprocess.Popen(
+        [sys.argv[1], "--stdio"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        env={**os.environ, "T1SFQ_CACHE_DIR": cache_dir},
+    )
+    schema = "t1sfq-flow-v1"
+    flow = {"schema": schema, "op": "flow", "circuit": "roundtrip", "blif": BLIF}
+    requests = [
+        {"schema": schema, "op": "ping"},
+        flow,
+        flow,  # byte-identical resubmission: must hit the warm cache
+        {"schema": schema, "op": "flow", "circuit": "bad", "blif": ".model x\n.frobnicate\n.end\n"},
+        {"schema": schema, "op": "stats"},
+        {"schema": schema, "op": "shutdown"},
+    ]
+    daemon.stdin.write(b"".join(frame(r) for r in requests))
+    daemon.stdin.flush()
+
+    pong = read_frame(daemon.stdout)
+    expect(pong.get("ok") is True and pong.get("op") == "pong", "ping answered", pong)
+
+    cold = read_frame(daemon.stdout)
+    expect(cold.get("ok") is True and cold.get("tier") == "cold", "first flow is cold", cold)
+    expect(int(cold.get("cache_key", 0)) != 0, "cold response carries a cache key", cold)
+    expect(int(cold.get("metrics", {}).get("num_gates", 0)) > 0, "cold metrics populated", cold)
+
+    warm = read_frame(daemon.stdout)
+    expect(warm.get("ok") is True and warm.get("tier") == "warm", "replay is warm", warm)
+    expect(warm.get("cache_key") == cold.get("cache_key"), "replay keys identically", warm)
+    expect(warm.get("metrics") == cold.get("metrics"), "warm serves the cold result", warm)
+
+    err = read_frame(daemon.stdout)
+    expect(err.get("ok") is False and err.get("error") == "parse_error",
+           "malformed BLIF is a structured parse error", err)
+
+    stats = read_frame(daemon.stdout)
+    expect(int(stats.get("cold", -1)) == 1 and int(stats.get("warm", -1)) == 1
+           and int(stats.get("errors", -1)) == 1, "stats count the traffic", stats)
+
+    bye = read_frame(daemon.stdout)
+    expect(bye.get("ok") is True, "shutdown acknowledged", bye)
+
+    daemon.stdin.close()
+    code = daemon.wait(timeout=30)
+    expect(code == 0, f"daemon exit code 0 (got {code})", code)
+    print("service_roundtrip: OK (cold -> warm -> error -> stats -> shutdown)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

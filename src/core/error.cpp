@@ -1,0 +1,43 @@
+#include "core/error.hpp"
+
+namespace t1sfq {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Internal: return "internal";
+    case ErrorCode::ParseError: return "parse_error";
+    case ErrorCode::IoError: return "io_error";
+    case ErrorCode::InvalidRequest: return "invalid_request";
+    case ErrorCode::InfeasibleSchedule: return "infeasible_schedule";
+    case ErrorCode::PhysicsViolation: return "physics_violation";
+    case ErrorCode::CacheCorruption: return "cache_corruption";
+    case ErrorCode::UnknownSession: return "unknown_session";
+    case ErrorCode::Unsupported: return "unsupported";
+  }
+  return "internal";
+}
+
+ErrorCode error_code_from_string(const std::string& name) {
+  for (const ErrorCode c :
+       {ErrorCode::Internal, ErrorCode::ParseError, ErrorCode::IoError,
+        ErrorCode::InvalidRequest, ErrorCode::InfeasibleSchedule,
+        ErrorCode::PhysicsViolation, ErrorCode::CacheCorruption,
+        ErrorCode::UnknownSession, ErrorCode::Unsupported}) {
+    if (name == to_string(c)) {
+      return c;
+    }
+  }
+  return ErrorCode::Internal;
+}
+
+ErrorCode error_code_of(const std::exception& e) noexcept {
+  if (const auto* typed = dynamic_cast<const Error*>(&e)) {
+    return typed->code();
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return ErrorCode::InvalidRequest;
+  }
+  return ErrorCode::Internal;
+}
+
+}  // namespace t1sfq

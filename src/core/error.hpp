@@ -1,0 +1,85 @@
+#pragma once
+/// \file error.hpp
+/// \brief Typed error taxonomy of the public API surface.
+///
+/// Library entry points historically threw bare `std::runtime_error` strings;
+/// the synthesis service (src/service/) needs to map failures to structured
+/// error responses, so the throwing sites now use `t1sfq::Error` subclasses
+/// carrying an `ErrorCode`. `Error` derives from `std::runtime_error` and the
+/// `what()` texts are preserved verbatim, so existing callers (and tests)
+/// that catch `std::runtime_error` keep working unchanged.
+///
+/// API-misuse guards (`run_flow` with `use_t1` under 4 phases,
+/// `physics_check` with mismatched PI/PO counts) deliberately stay
+/// `std::invalid_argument`: they are programming errors, not runtime
+/// failures. `error_code_of` folds them into `ErrorCode::InvalidRequest`
+/// when a caught exception must be mapped to a wire response anyway.
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace t1sfq {
+
+/// Stable error classification of the public surface (wire schema
+/// `t1sfq-flow-v1` serializes the `to_string` names, not the numeric values).
+enum class ErrorCode : uint8_t {
+  Internal,            ///< unclassified failure (bare std:: exceptions)
+  ParseError,          ///< malformed input netlist / malformed request JSON
+  IoError,             ///< file or transport I/O failure
+  InvalidRequest,      ///< structurally valid but unsatisfiable request
+  InfeasibleSchedule,  ///< phase assignment found no feasible schedule
+  PhysicsViolation,    ///< pulse-level oracle rejected the flow output
+  CacheCorruption,     ///< persisted artifact failed verification
+  UnknownSession,      ///< ECO request against a session the server lacks
+  Unsupported,         ///< valid request for a feature this build lacks
+};
+
+const char* to_string(ErrorCode code);
+
+/// Parses a `to_string(ErrorCode)` name back; `Internal` for unknown names
+/// (forward compatibility across schema revisions).
+ErrorCode error_code_from_string(const std::string& name);
+
+/// Base of every typed library error. Derives from std::runtime_error so the
+/// pre-taxonomy catch sites keep working; `what()` texts are unchanged.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+struct ParseError : Error {
+  explicit ParseError(const std::string& what) : Error(ErrorCode::ParseError, what) {}
+};
+
+struct IoError : Error {
+  explicit IoError(const std::string& what) : Error(ErrorCode::IoError, what) {}
+};
+
+struct InfeasibleScheduleError : Error {
+  explicit InfeasibleScheduleError(const std::string& what)
+      : Error(ErrorCode::InfeasibleSchedule, what) {}
+};
+
+struct PhysicsViolationError : Error {
+  explicit PhysicsViolationError(const std::string& what)
+      : Error(ErrorCode::PhysicsViolation, what) {}
+};
+
+struct CacheCorruptionError : Error {
+  explicit CacheCorruptionError(const std::string& what)
+      : Error(ErrorCode::CacheCorruption, what) {}
+};
+
+/// Classification of an arbitrary caught exception: a `t1sfq::Error` reports
+/// its own code, `std::invalid_argument` folds to `InvalidRequest`, anything
+/// else to `Internal`.
+ErrorCode error_code_of(const std::exception& e) noexcept;
+
+}  // namespace t1sfq

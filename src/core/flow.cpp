@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "core/error.hpp"
 #include "incr/incremental_view.hpp"
 #include "network/equivalence.hpp"
 #include "obs/trace.hpp"
@@ -111,7 +112,7 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
   }
   shared_view.reset();  // flush the view's obs counters before DFF insertion
   if (!result.assignment.feasible) {
-    throw std::runtime_error("run_flow: no feasible phase assignment");
+    throw InfeasibleScheduleError("run_flow: no feasible phase assignment");
   }
 
   {
@@ -142,7 +143,7 @@ FlowResult run_flow(const Network& input, const FlowParams& params) {
                                            params.physics);
     result.timings.physics_ms = ms_since(t0);
     if (!result.physics.ok) {
-      throw std::runtime_error("run_flow: " + result.physics.summary());
+      throw PhysicsViolationError("run_flow: " + result.physics.summary());
     }
   }
 

@@ -1,5 +1,7 @@
 #include "network/io.hpp"
 
+#include "core/error.hpp"
+
 #include <algorithm>
 #include <fstream>
 #include <map>
@@ -107,7 +109,7 @@ void write_blif(const Network& net, std::ostream& os) {
       default: {
         const char* cover = blif_cover(n.type);
         if (!cover) {
-          throw std::runtime_error("write_blif: unsupported cell");
+          throw IoError("write_blif: unsupported cell");
         }
         os << ".names";
         for (uint8_t i = 0; i < n.num_fanins; ++i) {
@@ -131,7 +133,7 @@ void write_blif(const Network& net, std::ostream& os) {
 void write_blif_file(const Network& net, const std::string& path) {
   std::ofstream os(path);
   if (!os) {
-    throw std::runtime_error("write_blif_file: cannot open " + path);
+    throw IoError("write_blif_file: cannot open " + path);
   }
   write_blif(net, os);
 }
@@ -184,8 +186,8 @@ BlifModel parse_blif(std::istream& is) {
 
     if (tok[0][0] == '.') {
       open_names = nullptr;
-      if (tok[0] == ".model" && tok.size() > 1) {
-        model.name = tok[1];
+      if (tok[0] == ".model") {
+        if (tok.size() > 1) model.name = tok[1];
       } else if (tok[0] == ".inputs") {
         model.inputs.insert(model.inputs.end(), tok.begin() + 1, tok.end());
       } else if (tok[0] == ".outputs") {
@@ -202,7 +204,7 @@ BlifModel parse_blif(std::istream& is) {
         for (std::size_t i = 2; i < tok.size(); ++i) {
           const auto eq = tok[i].find('=');
           if (eq == std::string::npos) {
-            throw std::runtime_error("read_blif: malformed .subckt pin " + tok[i]);
+            throw ParseError("read_blif: malformed .subckt pin " + tok[i]);
           }
           s.pins[tok[i].substr(0, eq)] = tok[i].substr(eq + 1);
         }
@@ -210,7 +212,11 @@ BlifModel parse_blif(std::istream& is) {
       } else if (tok[0] == ".end") {
         break;
       } else if (tok[0] == ".latch") {
-        throw std::runtime_error("read_blif: .latch not supported; use .subckt dff");
+        throw ParseError("read_blif: .latch not supported; use .subckt dff");
+      } else {
+        // A directive this parser would silently drop is a directive whose
+        // semantics would silently change the circuit — reject it.
+        throw ParseError("read_blif: unsupported directive " + tok[0]);
       }
       continue;
     }
@@ -219,11 +225,11 @@ BlifModel parse_blif(std::istream& is) {
         open_names->cubes.push_back(tok[0]);  // constant-1 record
       } else if (tok.size() == 2) {
         if (tok[1] != "1") {
-          throw std::runtime_error("read_blif: only on-set covers are supported");
+          throw ParseError("read_blif: only on-set covers are supported");
         }
         open_names->cubes.push_back(tok[0]);
       } else {
-        throw std::runtime_error("read_blif: malformed cube line: " + line);
+        throw ParseError("read_blif: malformed cube line: " + line);
       }
     }
   }
@@ -272,7 +278,7 @@ Network read_blif(std::istream& is) {
           NodeId acc = kNullNode;
           for (const auto& cube : r.cubes) {
             if (cube.size() != r.inputs.size()) {
-              throw std::runtime_error("read_blif: cube width mismatch");
+              throw ParseError("read_blif: cube width mismatch");
             }
             NodeId prod = kNullNode;
             for (std::size_t i = 0; i < cube.size(); ++i) {
@@ -315,7 +321,7 @@ Network read_blif(std::istream& is) {
             }
           }
         } else {
-          throw std::runtime_error("read_blif: unknown subcircuit " + s.cell);
+          throw ParseError("read_blif: unknown subcircuit " + s.cell);
         }
         rec.done = true;
         progress = true;
@@ -323,14 +329,14 @@ Network read_blif(std::istream& is) {
       }
     }
     if (!progress) {
-      throw std::runtime_error("read_blif: unresolvable signal dependencies (cycle?)");
+      throw ParseError("read_blif: unresolvable signal dependencies (cycle?)");
     }
   }
 
   for (const auto& out : model.outputs) {
     const auto it = sig.find(out);
     if (it == sig.end()) {
-      throw std::runtime_error("read_blif: undriven output " + out);
+      throw ParseError("read_blif: undriven output " + out);
     }
     net.add_po(it->second, out);
   }
@@ -340,7 +346,7 @@ Network read_blif(std::istream& is) {
 Network read_blif_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) {
-    throw std::runtime_error("read_blif_file: cannot open " + path);
+    throw IoError("read_blif_file: cannot open " + path);
   }
   return read_blif(is);
 }
@@ -419,7 +425,7 @@ void write_verilog(const Network& net, std::ostream& os) {
 void write_verilog_file(const Network& net, const std::string& path) {
   std::ofstream os(path);
   if (!os) {
-    throw std::runtime_error("write_verilog_file: cannot open " + path);
+    throw IoError("write_verilog_file: cannot open " + path);
   }
   write_verilog(net, os);
 }

@@ -1,0 +1,182 @@
+/// \file api_test.cpp
+/// \brief Public API facade: builder, config signature, non-throwing binding,
+/// and the typed error taxonomy it reports through.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchmarks/arith.hpp"
+#include "core/api.hpp"
+#include "network/io.hpp"
+
+namespace t1sfq {
+namespace {
+
+Network adder_net() {
+  Network net("adder3");
+  const Word a = add_pi_word(net, 3, "a");
+  const Word b = add_pi_word(net, 3, "b");
+  add_po_word(net, ripple_carry_adder(net, a, b, net.get_const0()), "s");
+  return net;
+}
+
+TEST(ApiBuilder, SetsEveryKnob) {
+  const FlowRequest req = FlowRequest::Builder(adder_net())
+                              .circuit("renamed")
+                              .phases(6)
+                              .use_t1(false)
+                              .engine(PhaseEngine::ExactMilp)
+                              .output_slack(3)
+                              .optimize(true)
+                              .opt_rounds(2)
+                              .physics_check(true)
+                              .observe(true)
+                              .session("sid")
+                              .return_netlist(true)
+                              .build();
+  EXPECT_EQ(req.circuit, "renamed");
+  EXPECT_EQ(req.phases, 6u);
+  EXPECT_FALSE(req.use_t1);
+  EXPECT_EQ(req.engine, PhaseEngine::ExactMilp);
+  EXPECT_EQ(req.output_slack, 3);
+  EXPECT_TRUE(req.optimize);
+  EXPECT_EQ(req.opt_rounds, 2u);
+  EXPECT_TRUE(req.physics_check);
+  EXPECT_TRUE(req.observe);
+  EXPECT_EQ(req.session, "sid");
+  EXPECT_TRUE(req.return_netlist);
+  EXPECT_EQ(req.network.num_pis(), 6u);
+}
+
+TEST(ApiBuilder, CircuitDefaultsToNetworkName) {
+  const FlowRequest req = FlowRequest::Builder(adder_net()).build();
+  EXPECT_EQ(req.circuit, "adder3");
+}
+
+TEST(ApiConfigSignature, EveryResultKnobParticipates) {
+  const FlowRequest base = FlowRequest::Builder(adder_net()).build();
+  const std::string sig = base.config_signature();
+  EXPECT_NE(sig.find(kFlowSchema), std::string::npos);
+
+  const auto differs = [&](FlowRequest changed) {
+    return changed.config_signature() != sig;
+  };
+  FlowRequest r = base;
+  r.phases = 5;
+  EXPECT_TRUE(differs(r));
+  r = base;
+  r.use_t1 = !base.use_t1;
+  EXPECT_TRUE(differs(r));
+  r = base;
+  r.engine = PhaseEngine::ExactMilp;
+  EXPECT_TRUE(differs(r));
+  r = base;
+  r.output_slack = 1;
+  EXPECT_TRUE(differs(r));
+  r = base;
+  r.optimize = true;
+  EXPECT_TRUE(differs(r));
+  r = base;
+  r.opt_rounds = 9;
+  EXPECT_TRUE(differs(r));
+  r = base;
+  r.physics_check = true;
+  EXPECT_TRUE(differs(r));
+
+  // Routing / presentation fields must NOT key different cache entries.
+  r = base;
+  r.circuit = "other";
+  r.observe = true;
+  r.session = "sid";
+  r.return_netlist = true;
+  EXPECT_EQ(r.config_signature(), sig);
+}
+
+TEST(ApiRunFlow, MatchesTheInternalBinding) {
+  const Network net = adder_net();
+  const FlowResponse resp = run_flow(FlowRequest::Builder(net).build());
+  ASSERT_TRUE(resp.ok) << resp.message;
+  EXPECT_EQ(resp.tier, FlowTier::Cold);
+
+  // The internal equivalent of a default v1 request: `FlowParams` enables the
+  // pre-mapping optimizer by default, the v1 surface does not (the baseline
+  // flow is deterministic and ECO-compatible; optimization is opt-in).
+  FlowParams p;
+  p.clk.phases = 4;
+  p.opt.enable = false;
+  const FlowResult internal = run_flow(net, p);
+  EXPECT_EQ(resp.metrics.num_dffs, internal.metrics.num_dffs);
+  EXPECT_EQ(resp.metrics.area_jj, internal.metrics.area_jj);
+  EXPECT_EQ(resp.metrics.depth_cycles, internal.metrics.depth_cycles);
+  EXPECT_EQ(resp.metrics.t1_used, internal.metrics.t1_used);
+}
+
+TEST(ApiRunFlow, ReturnsNetlistOnRequest) {
+  const FlowResponse without = run_flow(FlowRequest::Builder(adder_net()).build());
+  ASSERT_TRUE(without.ok);
+  EXPECT_TRUE(without.netlist_blif.empty());
+  const FlowResponse with =
+      run_flow(FlowRequest::Builder(adder_net()).return_netlist(true).build());
+  ASSERT_TRUE(with.ok);
+  ASSERT_FALSE(with.netlist_blif.empty());
+  std::istringstream ss(with.netlist_blif);
+  EXPECT_EQ(read_blif(ss).num_pis(), 6u);
+}
+
+TEST(ApiRunFlow, MisuseComesBackAsStructuredError) {
+  // The internal binding throws std::invalid_argument; the facade reports it.
+  const FlowResponse resp =
+      run_flow(FlowRequest::Builder(adder_net()).phases(3).use_t1(true).build());
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error, ErrorCode::InvalidRequest);
+  EXPECT_FALSE(resp.message.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------------
+
+TEST(ErrorTaxonomy, CodesRoundTripThroughStrings) {
+  for (const ErrorCode code :
+       {ErrorCode::Internal, ErrorCode::ParseError, ErrorCode::IoError,
+        ErrorCode::InvalidRequest, ErrorCode::InfeasibleSchedule,
+        ErrorCode::PhysicsViolation, ErrorCode::CacheCorruption,
+        ErrorCode::UnknownSession, ErrorCode::Unsupported}) {
+    EXPECT_EQ(error_code_from_string(to_string(code)), code);
+  }
+  EXPECT_EQ(error_code_from_string("from-the-future"), ErrorCode::Internal);
+}
+
+TEST(ErrorTaxonomy, TypedErrorsPreserveWhatText) {
+  const ParseError e("read_blif: malformed cube line: xyz");
+  EXPECT_EQ(e.code(), ErrorCode::ParseError);
+  EXPECT_STREQ(e.what(), "read_blif: malformed cube line: xyz");
+  // Pre-taxonomy catch sites keep working.
+  try {
+    throw InfeasibleScheduleError("no feasible phase assignment");
+  } catch (const std::runtime_error& re) {
+    EXPECT_STREQ(re.what(), "no feasible phase assignment");
+  }
+}
+
+TEST(ErrorTaxonomy, ClassifiesCaughtExceptions) {
+  EXPECT_EQ(error_code_of(ParseError("x")), ErrorCode::ParseError);
+  EXPECT_EQ(error_code_of(CacheCorruptionError("x")), ErrorCode::CacheCorruption);
+  EXPECT_EQ(error_code_of(std::invalid_argument("x")), ErrorCode::InvalidRequest);
+  EXPECT_EQ(error_code_of(std::runtime_error("x")), ErrorCode::Internal);
+}
+
+TEST(ErrorTaxonomy, BlifParserThrowsTyped) {
+  std::istringstream bad(".model x\n.frobnicate\n.end\n");
+  try {
+    read_blif(bad);
+    FAIL() << "unsupported directive must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::ParseError);
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace t1sfq
